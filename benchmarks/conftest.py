@@ -1,0 +1,30 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one paper table/figure.  Because pytest
+captures stdout, each generated table is also written to
+``bench_results/<name>.txt`` next to this file, so the figures are
+inspectable after a plain ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "bench_results"
+
+
+@pytest.fixture
+def save_table():
+    """Persist (and print) an experiment table; returns the table."""
+
+    def _save(name, table):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = table.to_text()
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        return table
+
+    return _save

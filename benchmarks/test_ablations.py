@@ -1,0 +1,119 @@
+"""Design-choice ablations called out in DESIGN.md:
+
+* sublist size s vs the paper's sqrt(N) choice (logic/lane trade-off),
+* exact PIEO vs the approximate datastructures of Section 2.3,
+* PIEO's O(sqrt N) comparator work vs PIFO's O(N) (measured, not
+  modeled, from the cycle-accurate implementations).
+"""
+
+import random
+
+import pytest
+
+from repro.core.element import Element
+from repro.core.pieo import PieoHardwareList
+from repro.core.pifo import PifoDesignPieoList
+from repro.experiments.ablation_sublist import sublist_ablation_table
+from repro.experiments.ablation_trigger import trigger_ablation_table
+from repro.experiments.approx_structures import approx_structures_table
+from repro.experiments.end_to_end_shaping import shaping_comparison_table
+from repro.experiments.pipeline_rate import pipeline_table
+from repro.experiments.structure_comparison import structure_comparison_table
+
+
+def test_ablation_sublist_size(benchmark, save_table):
+    table = benchmark.pedantic(sublist_ablation_table, rounds=1,
+                               iterations=1)
+    save_table("ablation_sublist", table)
+    assert all(cycles == pytest.approx(4.0)
+               for cycles in table.column("cycles_per_op"))
+    lanes = table.column("lanes")
+    sizes = table.column("sublist_size")
+    assert lanes[sizes.index(64)] == min(lanes)  # sqrt(4096) = 64
+
+
+def test_ablation_approximate_structures(benchmark, save_table):
+    table = benchmark.pedantic(approx_structures_table, rounds=1,
+                               iterations=1)
+    save_table("ablation_approx", table)
+    rows = {(row[0], row[1]): row[2] for row in table.rows}
+    assert rows[("pieo (exact)", "-")] == 0
+    assert rows[("calendar_queue", 64)] <= rows[("calendar_queue", 4)]
+
+
+def test_ablation_trigger_model(benchmark, save_table):
+    table = benchmark.pedantic(trigger_ablation_table, rounds=1,
+                               iterations=1)
+    save_table("ablation_trigger", table)
+    rows = {row[0]: row for row in table.rows}
+    assert rows["output"][1] == 0
+    assert rows["input"][1] == "never"
+
+
+def test_ablation_pipelining(benchmark, save_table):
+    table = benchmark.pedantic(pipeline_table, rounds=1, iterations=1)
+    save_table("ablation_pipeline", table)
+    assert all(table.column("mtu_100g_ok"))
+
+
+def test_end_to_end_shaping_comparison(benchmark, save_table):
+    table = benchmark.pedantic(shaping_comparison_table, rounds=1,
+                               iterations=1)
+    save_table("end_to_end_shaping", table)
+    rows = {row[0]: row for row in table.rows}
+    assert rows["pieo"][-1] < rows["pifo"][-1]  # only PIEO shapes
+
+
+def test_structure_comparison(benchmark, save_table):
+    table = benchmark.pedantic(structure_comparison_table, rounds=1,
+                               iterations=1)
+    save_table("structure_comparison", table)
+    rows = {row[0]: row for row in table.rows}
+    assert rows["p-heap"][3] > rows["pieo (sqrt-N design)"][3]
+
+
+def _measured_comparators_per_op(structure, operations=1000):
+    """Run balanced traffic at ~half occupancy (the regime where the
+    resident population, and hence PIFO's comparator bank, is large)."""
+    rng = random.Random(3)
+    next_flow = 0
+    target = structure.capacity // 2
+    while len(structure) < target:
+        structure.enqueue(Element(next_flow,
+                                  rank=rng.randint(0, 1 << 16)))
+        next_flow += 1
+    structure.counters.reset()
+    for _ in range(operations):
+        if len(structure) <= target:
+            structure.enqueue(Element(next_flow,
+                                      rank=rng.randint(0, 1 << 16)))
+            next_flow += 1
+        else:
+            structure.dequeue(now=1)
+    return (structure.counters.comparator_activations
+            / max(1, structure.counters.total_ops()))
+
+
+def test_ablation_comparator_scaling(benchmark, save_table):
+    """PIEO's measured comparator work grows ~sqrt(N); PIFO's grows ~N."""
+    from repro.experiments.runner import Table
+    table = Table(
+        title="Measured comparator activations per op (cycle-accurate "
+              "models, random half-full traffic)",
+        headers=["capacity", "pieo_cmps_per_op", "pifo_cmps_per_op",
+                 "ratio"])
+
+    def build():
+        for capacity in (256, 1024, 4096):
+            pieo = _measured_comparators_per_op(
+                PieoHardwareList(capacity))
+            pifo = _measured_comparators_per_op(
+                PifoDesignPieoList(capacity))
+            table.add_row(capacity, round(pieo, 1), round(pifo, 1),
+                          round(pifo / pieo, 2))
+        return table
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+    save_table("ablation_comparators", table)
+    ratios = table.column("ratio")
+    assert ratios == sorted(ratios)  # PIFO's disadvantage grows with N

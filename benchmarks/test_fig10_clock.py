@@ -1,0 +1,16 @@
+"""Fig. 10: clock rate achieved by the scheduler circuit vs size."""
+
+import pytest
+
+from repro.experiments.fig10_clock import clock_table
+
+
+def test_fig10_clock(benchmark, save_table):
+    table = benchmark(clock_table)
+    save_table("fig10_clock", table)
+    sizes = table.column("size")
+    pieo = table.column("pieo_mhz")
+    assert pieo[sizes.index(30000)] == pytest.approx(80, abs=2)
+    assert table.column("pifo_mhz")[sizes.index(1024)] == pytest.approx(
+        57, abs=2)
+    assert pieo == sorted(pieo, reverse=True)

@@ -1,0 +1,20 @@
+"""Fig. 12: fair-queue enforcement within a node (Section 6.3)."""
+
+from repro.experiments.fig12_fair_queue import fair_queue_table
+
+
+def test_fig12_fair_queue(benchmark, save_table):
+    table = benchmark.pedantic(
+        fair_queue_table, kwargs={"duration": 0.01}, rounds=1,
+        iterations=1)
+    save_table("fig12_fair_queue", table)
+    assert min(table.column("jain_index")) > 0.999
+
+
+def test_fig12_weighted_fair_queue(benchmark, save_table):
+    table = benchmark.pedantic(
+        fair_queue_table,
+        kwargs={"duration": 0.01, "flow_weights": [1.0, 2.0]},
+        rounds=1, iterations=1)
+    save_table("fig12_weighted", table)
+    assert min(table.column("jain_index")) > 0.999

@@ -1,0 +1,31 @@
+"""Fig. 2: WF2Q+ expressiveness — PIEO vs single/two-PIFO emulations."""
+
+from repro.analysis.deviation import max_deviation
+from repro.baselines.pifo_wf2q import ideal_wf2q_order, paper_example
+from repro.experiments.fig2_expressiveness import (deviation_sweep,
+                                                   example_table,
+                                                   pieo_order)
+
+
+def test_fig2_example_orders(benchmark, save_table):
+    table = benchmark(example_table)
+    save_table("fig2_example", table)
+    deviations = dict(zip(table.column("design"),
+                          table.column("max_deviation_vs_ideal")))
+    assert deviations["pieo"] == 0
+    assert deviations["two_pifo"] > 0
+
+
+def test_fig2_deviation_sweep(benchmark, save_table):
+    table = benchmark.pedantic(deviation_sweep, rounds=1, iterations=1)
+    save_table("fig2_sweep", table)
+    two_pifo = table.column("two_pifo_max_dev")
+    assert two_pifo[-1] > two_pifo[0]  # O(N) growth
+    assert all(value == 0 for value in table.column("pieo_max_dev"))
+
+
+def test_fig2_pieo_replay_speed(benchmark):
+    """Micro: replaying the paper example through a real PIEO list."""
+    packets = paper_example()
+    order = benchmark(pieo_order, packets)
+    assert max_deviation(ideal_wf2q_order(packets), order) == 0

@@ -1,0 +1,16 @@
+"""Fig. 8: % of logic modules (ALMs) consumed vs scheduler size."""
+
+import pytest
+
+from repro.experiments.fig8_alms import alms_table
+
+
+def test_fig8_alms(benchmark, save_table):
+    table = benchmark(alms_table)
+    save_table("fig8_alms", table)
+    sizes = table.column("size")
+    # Paper anchors: PIFO 64% @ 1K, does not fit at 2K; PIEO fits 30K.
+    assert table.column("pifo_alms_pct")[sizes.index(1024)] == (
+        pytest.approx(64.0, abs=2))
+    assert not table.column("pifo_fits")[sizes.index(2048)]
+    assert table.column("pieo_fits")[sizes.index(30000)]

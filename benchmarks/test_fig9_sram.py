@@ -1,0 +1,12 @@
+"""Fig. 9: % of SRAM consumed vs scheduler size."""
+
+from repro.experiments.fig9_sram import sram_table
+
+
+def test_fig9_sram(benchmark, save_table):
+    table = benchmark(sram_table)
+    save_table("fig9_sram", table)
+    # Paper: consumption is "fairly modest" even with the 2x overhead.
+    assert all(table.column("fits"))
+    assert max(table.column("sram_pct")) < 20
+    assert max(table.column("overhead_x")) <= 2.2

@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the primitive operations across implementations.
+
+These measure *model simulation speed* in Python (useful for sizing
+larger simulations); the hardware-time story is carried by the cycle
+counters, which every variant reports via extra_info.
+"""
+
+import random
+
+import pytest
+
+from repro.core.element import Element
+from repro.core.pieo import PieoHardwareList
+from repro.core.pifo import PifoDesignPieoList
+from repro.core.reference import ReferencePieo
+
+CAPACITY = 1024
+
+IMPLEMENTATIONS = {
+    "reference": lambda: ReferencePieo(CAPACITY),
+    "hardware": lambda: PieoHardwareList(CAPACITY),
+    "pifo-design": lambda: PifoDesignPieoList(CAPACITY),
+}
+
+
+def _warm(structure, occupancy, rng):
+    for index in range(occupancy):
+        structure.enqueue(Element(("warm", index),
+                                  rank=rng.randint(0, 1 << 16),
+                                  send_time=rng.choice([0, 0, 1 << 20])))
+
+
+@pytest.mark.parametrize("name", sorted(IMPLEMENTATIONS))
+def test_enqueue_dequeue_pair(benchmark, name):
+    rng = random.Random(11)
+    structure = IMPLEMENTATIONS[name]()
+    _warm(structure, CAPACITY // 2, rng)
+    counter = [0]
+
+    def pair():
+        counter[0] += 1
+        structure.enqueue(Element(counter[0],
+                                  rank=rng.randint(0, 1 << 16)))
+        structure.dequeue(now=0)
+
+    benchmark(pair)
+    counters = getattr(structure, "counters", None)
+    if counters is not None:
+        ops = max(1, counters.total_ops())
+        benchmark.extra_info["modeled_cycles_per_op"] = (
+            counters.cycles / ops)
+
+
+@pytest.mark.parametrize("name", sorted(IMPLEMENTATIONS))
+def test_dequeue_flow(benchmark, name):
+    rng = random.Random(13)
+    structure = IMPLEMENTATIONS[name]()
+    _warm(structure, CAPACITY // 2, rng)
+
+    def extract_and_restore():
+        element = structure.dequeue_flow(("warm", 100))
+        structure.enqueue(element)
+
+    benchmark(extract_and_restore)
+
+
+def test_group_filtered_dequeue(benchmark):
+    """The hierarchical extraction path on the hardware model."""
+    rng = random.Random(17)
+    structure = PieoHardwareList(CAPACITY)
+    for index in range(CAPACITY // 2):
+        structure.enqueue(Element(index, rank=rng.randint(0, 1 << 16),
+                                  group=index % 8))
+    state = [CAPACITY]
+
+    def grouped_pair():
+        element = structure.dequeue(now=0, group_range=(3, 3))
+        state[0] += 1
+        structure.enqueue(Element(state[0],
+                                  rank=rng.randint(0, 1 << 16),
+                                  group=3))
+        assert element is None or element.group == 3
+
+    benchmark(grouped_pair)

@@ -1,0 +1,12 @@
+"""Section 6.1: the "over 30x more scalable than PIFO" headline."""
+
+from repro.experiments.scalability import scalability_table
+
+
+def test_scalability(benchmark, save_table):
+    table = benchmark(scalability_table)
+    save_table("scalability", table)
+    stratix_v_row = table.rows[0]
+    assert stratix_v_row[1] < 2_048        # PIFO max
+    assert stratix_v_row[3] >= 30_000      # PIEO max (logic + SRAM)
+    assert stratix_v_row[4] > 30           # the 30x claim

@@ -1,0 +1,44 @@
+"""Section 6.2: scheduling rate — 4 cycles/op, 50 ns @ 80 MHz, 4 ns on
+ASIC — plus Python-level throughput of the cycle-accurate model."""
+
+import random
+
+import pytest
+
+from repro.core.element import Element
+from repro.core.pieo import PieoHardwareList
+from repro.experiments.scheduling_rate import (measured_cycles_per_op,
+                                               rate_table)
+
+
+def test_section62_rate_table(benchmark, save_table):
+    table = benchmark(rate_table)
+    save_table("scheduling_rate", table)
+    assert all(table.column("meets_mtu_100g"))
+
+
+def test_measured_cycles_per_op(benchmark):
+    cycles = benchmark.pedantic(measured_cycles_per_op, rounds=1,
+                                iterations=1)
+    assert cycles == pytest.approx(4.0)
+
+
+@pytest.mark.parametrize("capacity", [256, 1024, 4096])
+def test_hardware_model_op_throughput(benchmark, capacity):
+    """Python-side throughput of one enqueue+dequeue pair on the
+    cycle-accurate model (model simulation speed, not hardware speed)."""
+    pieo = PieoHardwareList(capacity)
+    rng = random.Random(7)
+    for index in range(capacity // 2):
+        pieo.enqueue(Element(("warm", index), rank=rng.randint(0, 1 << 16),
+                             send_time=0))
+    counter = [capacity]
+
+    def one_pair():
+        flow_id = counter[0] = counter[0] + 1
+        pieo.enqueue(Element(flow_id, rank=rng.randint(0, 1 << 16),
+                             send_time=0))
+        pieo.dequeue(now=1)
+
+    benchmark(one_pair)
+    benchmark.extra_info["modeled_cycles_per_op"] = 4

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Programming a custom scheduling algorithm on PIEO.
+
+Implements *paced EDF* — a policy PIFO cannot express, because it
+decides both WHEN a flow may send (a per-flow pacing gap: eligibility
+predicate) and in WHAT ORDER eligible flows send (earliest deadline
+first: rank).  It needs only the two programming functions of
+Section 3.2.1.
+
+Also demonstrates the asynchronous alarm path (Section 4.4): a deadline
+boost that asynchronously promotes a flow that is about to miss its
+deadline.
+
+Run:  python examples/custom_algorithm.py
+"""
+
+from repro.sched import PieoScheduler, SchedulingAlgorithm
+from repro.sched.base import TimeBase
+from repro.sim import (CbrGenerator, FlowQueue, Link, Simulator,
+                       TransmitEngine, gbps)
+
+
+class PacedEarliestDeadlineFirst(SchedulingAlgorithm):
+    """rank = head-packet deadline; predicate = pacing gap elapsed."""
+
+    name = "paced-edf"
+    time_base = TimeBase.WALL
+
+    def __init__(self, pace_gap_seconds: float) -> None:
+        self.pace_gap = pace_gap_seconds
+
+    def pre_enqueue(self, ctx, flow):
+        head = flow.head
+        deadline = head.arrival_time + flow.state.get(
+            "deadline_offset", 1.0)
+        # Pacing: the flow may not send again before last_send + gap.
+        earliest = flow.state.get("last_send", -1e9) + self.pace_gap
+        ctx.enqueue(flow, rank=deadline, send_time=earliest)
+
+    def post_dequeue(self, ctx, flow):
+        flow.state["last_send"] = ctx.now
+        ctx.transmit_head(flow)
+        if not flow.is_empty:
+            ctx.reenqueue(flow)
+
+    def alarm_handler(self, ctx, flow):
+        # Emergency promotion: bypass pacing for a near-deadline flow.
+        head = flow.head
+        deadline = head.arrival_time + flow.state.get(
+            "deadline_offset", 1.0)
+        ctx.enqueue(flow, rank=float("-inf"), send_time=0)
+        print(f"  [alarm] boosted {flow.flow_id!r} "
+              f"(deadline {deadline * 1e3:.2f} ms) at "
+              f"t={ctx.now * 1e3:.2f} ms")
+
+
+def main() -> None:
+    sim = Simulator()
+    link = Link(gbps(1))
+    algorithm = PacedEarliestDeadlineFirst(pace_gap_seconds=200e-6)
+    scheduler = PieoScheduler(algorithm, link_rate_bps=link.rate_bps)
+    engine = TransmitEngine(sim, scheduler, link)
+
+    for name, offset in (("sensor", 0.5e-3), ("camera", 5e-3),
+                         ("logs", 50e-3)):
+        flow = scheduler.add_flow(FlowQueue(name))
+        flow.state["deadline_offset"] = offset
+        # Faster than the 200 us pace gap (one packet every 100 us), so
+        # pacing binds, queues build, and deadline alarms fire.
+        CbrGenerator(sim, name, engine.arrival_sink, rate_bps=80e6,
+                     size_bytes=1000, end_time=0.01).start(0.0)
+
+    # Asynchronous deadline watchdog: every 100 us, boost any flow whose
+    # head packet is within 300 us of its deadline.
+    def watchdog():
+        for flow in scheduler.flows.values():
+            head = flow.head
+            if head is None:
+                continue
+            deadline = head.arrival_time + flow.state["deadline_offset"]
+            if deadline - sim.now < 300e-6:
+                scheduler.run_alarm(flow.flow_id, sim.now)
+        if sim.now < 0.01:
+            sim.schedule_in(100e-6, watchdog)
+
+    sim.schedule(0.0, watchdog)
+    sim.run_until(0.02)
+
+    print("\nper-flow results:")
+    for name in ("sensor", "camera", "logs"):
+        flow = scheduler.flows[name]
+        gaps = engine.recorder.interdeparture_times(name)
+        min_gap_us = min(gaps) * 1e6 if gaps else float("nan")
+        print(f"  {name:<7} sent {flow.packets_dequeued:>3} packets, "
+              f"min inter-departure gap {min_gap_us:7.1f} us "
+              f"(pacing target 200 us; alarms may bypass it)")
+
+
+if __name__ == "__main__":
+    main()

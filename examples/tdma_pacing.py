@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Precise time-slotted transmission (the paper's Section 1 motivation).
+
+Fastpass, QJump, Ethernet TDMA, and circuit-switched fabrics need packets
+on the wire at exact instants — the workload that software schedulers,
+with their processing jitter and coarse timers, cannot serve.  On PIEO
+the whole policy is ``send_time = rank = next slot boundary``.
+
+Four flows own the four slots of a 40 us frame on a 10 Gbps link; the
+example measures wire-time jitter against the slot grid.
+
+Run:  python examples/tdma_pacing.py
+"""
+
+from repro.sched import PieoScheduler, TimeSlotted
+from repro.sim import (BackloggedSource, FlowQueue, Link, Simulator,
+                       TransmitEngine, gbps)
+
+SLOT = 10e-6          # 10 us slots
+FRAME_SLOTS = 4       # 40 us frame
+
+
+def main() -> None:
+    sim = Simulator()
+    link = Link(gbps(10))
+    algorithm = TimeSlotted(SLOT, FRAME_SLOTS)
+    scheduler = PieoScheduler(algorithm, link_rate_bps=link.rate_bps)
+    engine = TransmitEngine(sim, scheduler, link)
+
+    for slot in range(FRAME_SLOTS):
+        flow = scheduler.add_flow(FlowQueue(f"host{slot}"))
+        flow.state["slot"] = slot
+        source = BackloggedSource(sim, flow.flow_id, engine.arrival_sink,
+                                  depth=2, size_bytes=1500)
+        engine.add_departure_listener(flow.flow_id, source.on_departure)
+        source.start(0.0)
+
+    sim.run_until(1e-3)
+
+    print(f"{'flow':>6} {'slots used':>11} {'packets':>8} "
+          f"{'worst jitter':>13}")
+    frame = SLOT * FRAME_SLOTS
+    for slot in range(FRAME_SLOTS):
+        flow_id = f"host{slot}"
+        times = [departure.time
+                 for departure in engine.recorder.departures
+                 if departure.flow_id == flow_id]
+        jitters = []
+        for time in times:
+            offset = (time - slot * SLOT) % frame
+            jitters.append(min(offset, frame - offset))
+        print(f"{flow_id:>6} {f'{slot} (mod 4)':>11} {len(times):>8} "
+              f"{max(jitters) * 1e9:>10.3f} ns")
+    print("\nEvery departure lands on its slot boundary to "
+          "floating-point precision — the determinism that motivates "
+          "scheduling in hardware.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The offline environment ships setuptools without ``wheel``, so PEP 660
+editable installs are unavailable; this shim lets ``pip install -e .``
+fall back to the legacy ``setup.py develop`` path.  All project metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""PIEO: Fast, Scalable, and Programmable Packet Scheduler in Hardware.
+
+A complete Python reproduction of Shrivastav, SIGCOMM 2019: the PIEO
+(Push-In-Extract-Out) scheduling primitive, a cycle-accurate model of its
+O(sqrt(N)) hardware design, the PIFO and FIFO baselines, the programming
+framework with every scheduling algorithm from the paper, a discrete-event
+network substrate, and the full evaluation harness.
+
+Quickstart
+----------
+>>> from repro import Element, ReferencePieo
+>>> pieo = ReferencePieo()
+>>> pieo.enqueue(Element(flow_id="a", rank=10, send_time=5))
+>>> pieo.enqueue(Element(flow_id="b", rank=3, send_time=50))
+>>> pieo.dequeue(now=7).flow_id   # "b" has smaller rank but is ineligible
+'a'
+"""
+
+from repro.core import (ALWAYS_ELIGIBLE, NEVER_ELIGIBLE, Element, OpCounters,
+                        OrderedList, PieoHardwareList, PieoList,
+                        PifoDesignPieoList, PifoHardwareList, ReferencePieo)
+from repro.errors import (CapacityError, ConfigurationError,
+                          DuplicateFlowError, InvariantViolation, ReproError,
+                          SimulationError, UnknownFlowError)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALWAYS_ELIGIBLE",
+    "NEVER_ELIGIBLE",
+    "Element",
+    "OpCounters",
+    "OrderedList",
+    "PieoHardwareList",
+    "PieoList",
+    "PifoDesignPieoList",
+    "PifoHardwareList",
+    "ReferencePieo",
+    "CapacityError",
+    "ConfigurationError",
+    "DuplicateFlowError",
+    "InvariantViolation",
+    "ReproError",
+    "SimulationError",
+    "UnknownFlowError",
+    "__version__",
+]

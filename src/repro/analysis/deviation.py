@@ -1,0 +1,52 @@
+"""Scheduling-order deviation metrics (the Fig. 2 / Section 2.3 claim
+that PIFO emulations deviate by up to O(N) positions from ideal)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def positionwise_deviation(ideal: Sequence, actual: Sequence,
+                           ) -> List[int]:
+    """Per-element |ideal position - actual position|.
+
+    Both sequences must contain the same elements exactly once.
+    """
+    if sorted(map(str, ideal)) != sorted(map(str, actual)):
+        raise ValueError("sequences must be permutations of each other")
+    actual_position: Dict[str, int] = {
+        str(name): index for index, name in enumerate(actual)}
+    return [abs(index - actual_position[str(name)])
+            for index, name in enumerate(ideal)]
+
+
+def max_deviation(ideal: Sequence, actual: Sequence) -> int:
+    deviations = positionwise_deviation(ideal, actual)
+    return max(deviations) if deviations else 0
+
+
+def mean_deviation(ideal: Sequence, actual: Sequence) -> float:
+    deviations = positionwise_deviation(ideal, actual)
+    if not deviations:
+        return 0.0
+    return sum(deviations) / len(deviations)
+
+
+def inversions(ideal: Sequence, actual: Sequence) -> int:
+    """Number of pairs served in the opposite order from ideal."""
+    position = {str(name): index for index, name in enumerate(actual)}
+    count = 0
+    names = [str(name) for name in ideal]
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            if position[names[i]] > position[names[j]]:
+                count += 1
+    return count
+
+
+def kendall_tau_distance(ideal: Sequence, actual: Sequence) -> float:
+    """Normalized inversion count in [0, 1]."""
+    n = len(ideal)
+    if n < 2:
+        return 0.0
+    return inversions(ideal, actual) / (n * (n - 1) / 2)

@@ -1,0 +1,49 @@
+"""Fairness metrics for the fair-queuing experiments (Fig. 12)."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Sequence
+
+
+def jains_index(allocations: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly fair, 1/n = maximally
+    unfair.  Defined as (sum x)^2 / (n * sum x^2)."""
+    values = [value for value in allocations]
+    if not values:
+        return 1.0
+    total = sum(values)
+    squares = sum(value * value for value in values)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
+def weighted_jains_index(allocations: Dict[Hashable, float],
+                         weights: Dict[Hashable, float]) -> float:
+    """Jain's index over weight-normalized allocations x_i / w_i."""
+    normalized = [allocations[key] / weights[key]
+                  for key in allocations if weights.get(key, 0) > 0]
+    return jains_index(normalized)
+
+
+def max_relative_error(achieved: Dict[Hashable, float],
+                       target: Dict[Hashable, float]) -> float:
+    """Worst-case |achieved - target| / target across keys; the rate-limit
+    accuracy metric for Fig. 11."""
+    worst = 0.0
+    for key, expected in target.items():
+        if expected <= 0:
+            continue
+        error = abs(achieved.get(key, 0.0) - expected) / expected
+        if error > worst:
+            worst = error
+    return worst
+
+
+def normalized_shares(achieved: Dict[Hashable, float]) -> Dict[Hashable,
+                                                               float]:
+    """Each key's fraction of the total allocation."""
+    total = sum(achieved.values())
+    if total <= 0:
+        return {key: 0.0 for key in achieved}
+    return {key: value / total for key, value in achieved.items()}

@@ -1,0 +1,25 @@
+"""Baseline schedulers and datastructures the paper compares against."""
+
+from repro.baselines.approximate import (CalendarQueue, MultiPriorityFifo,
+                                         TimingWheel)
+from repro.baselines.fifo import FifoScheduler
+from repro.baselines.pheap import PHeap
+from repro.baselines.pifo_scheduler import PifoShapingScheduler
+from repro.baselines.pifo_wf2q import (HeadPacket, ideal_wf2q_order,
+                                       order_deviation, paper_example,
+                                       single_pifo_order, two_pifo_order)
+
+__all__ = [
+    "CalendarQueue",
+    "MultiPriorityFifo",
+    "TimingWheel",
+    "FifoScheduler",
+    "PHeap",
+    "PifoShapingScheduler",
+    "HeadPacket",
+    "ideal_wf2q_order",
+    "order_deviation",
+    "paper_example",
+    "single_pifo_order",
+    "two_pifo_order",
+]

@@ -1,0 +1,222 @@
+"""Approximate priority structures (Section 2.3).
+
+"In principle, one could use approximate datastructures, such as a
+multi-priority fifo queue [1], a calendar queue [10], a timing wheel
+[40], or a multi-level feedback queue [4], to implement an approximate
+version of the PIFO primitive. ... However, by design, they could only
+express approximate versions of key packet scheduling algorithms,
+invariably resulting in weaker performance guarantees.  Further, these
+datastructures also tend to have several performance-critical
+configuration parameters ... which are not trivial to fine-tune."
+
+These implementations exist to *quantify* that argument: the ablation
+benchmark measures each structure's scheduling-order deviation from the
+exact PIEO order as a function of its configuration parameters.
+
+All three expose the :class:`repro.core.interfaces.PieoList` interface so
+they can be dropped into the scheduler framework, but their dequeue is
+only approximately "smallest ranked eligible".
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Hashable, List, Optional, Tuple
+
+from repro.core.element import Element, Time
+from repro.core.interfaces import PieoList
+from repro.errors import ConfigurationError
+
+
+class _BucketedList(PieoList):
+    """Shared machinery: elements hashed into FIFO buckets by a key."""
+
+    def __init__(self, num_buckets: int, bucket_width: float) -> None:
+        if num_buckets < 1:
+            raise ConfigurationError("need at least one bucket")
+        if bucket_width <= 0:
+            raise ConfigurationError("bucket width must be positive")
+        self.num_buckets = num_buckets
+        self.bucket_width = bucket_width
+        self.buckets: List[Deque[Element]] = [
+            deque() for _ in range(num_buckets)]
+        self._count = 0
+        self._next_seq = 0
+
+    # -- key --------------------------------------------------------------
+    def _key(self, element: Element) -> float:
+        raise NotImplementedError
+
+    def bucket_index(self, element: Element) -> int:
+        raw = int(self._key(element) / self.bucket_width)
+        return min(raw, self.num_buckets - 1)
+
+    # -- OrderedList ------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return int(2 ** 62)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def enqueue(self, element: Element) -> None:
+        element.seq = self._next_seq
+        self._next_seq += 1
+        self.buckets[self.bucket_index(element)].append(element)
+        self._count += 1
+
+    def dequeue_flow(self, flow_id: Hashable) -> Optional[Element]:
+        for bucket in self.buckets:
+            for index, element in enumerate(bucket):
+                if element.flow_id == flow_id:
+                    del bucket[index]
+                    self._count -= 1
+                    return element
+        return None
+
+    def snapshot(self) -> List[Element]:
+        elements: List[Element] = []
+        for bucket in self.buckets:
+            elements.extend(bucket)
+        return elements
+
+    def min_send_time(self) -> Time:
+        times = [element.send_time for element in self.snapshot()]
+        return min(times) if times else math.inf
+
+    # -- PieoList ----------------------------------------------------------
+    def dequeue(self, now: Time,
+                group_range: Optional[Tuple[int, int]] = None,
+                ) -> Optional[Element]:
+        position = self._find(now, group_range)
+        if position is None:
+            return None
+        bucket_index, element_index = position
+        element = self.buckets[bucket_index][element_index]
+        del self.buckets[bucket_index][element_index]
+        self._count -= 1
+        return element
+
+    def peek(self, now: Time,
+             group_range: Optional[Tuple[int, int]] = None,
+             ) -> Optional[Element]:
+        position = self._find(now, group_range)
+        if position is None:
+            return None
+        bucket_index, element_index = position
+        return self.buckets[bucket_index][element_index]
+
+    def _find(self, now: Time, group_range: Optional[Tuple[int, int]],
+              ) -> Optional[Tuple[int, int]]:
+        """First eligible element in bucket-then-FIFO order — the
+        approximation: rank order *within* a bucket is lost."""
+        for bucket_index, bucket in enumerate(self.buckets):
+            for element_index, element in enumerate(bucket):
+                if element.is_eligible(now, group_range):
+                    return bucket_index, element_index
+        return None
+
+
+class CalendarQueue(_BucketedList):
+    """Calendar queue [Brown 1988]: buckets over the *rank* space.
+
+    ``bucket_width`` ranks share one FIFO bucket; ranks beyond
+    ``num_buckets * bucket_width`` all land in the final bucket.  Dequeue
+    approximates smallest-rank-eligible to bucket granularity.
+    """
+
+    def _key(self, element: Element) -> float:
+        return float(element.rank)
+
+
+class TimingWheel(_BucketedList):
+    """Timing wheel [Varghese & Lauck 1987]: slots over *send_time*.
+
+    Ideal for pacing (eligibility is honoured to slot granularity), but
+    rank order among simultaneously eligible elements is lost entirely.
+    """
+
+    def _key(self, element: Element) -> float:
+        if math.isinf(element.send_time):
+            return self.num_buckets * self.bucket_width
+        return float(element.send_time)
+
+
+class MultiPriorityFifo(PieoList):
+    """Multi-priority FIFO queues (802.1Q [1]): ``num_levels`` strict
+    priority levels; rank is quantized onto the levels with
+    ``level_width`` ranks per level.
+
+    Unlike the bucketed structures, only the *head* of each level is
+    considered at dequeue (hardware reality for per-class FIFOs), so an
+    ineligible head blocks its whole level — the head-of-line blocking
+    that costs non-work-conserving accuracy.
+    """
+
+    def __init__(self, num_levels: int, level_width: float) -> None:
+        if num_levels < 1:
+            raise ConfigurationError("need at least one level")
+        if level_width <= 0:
+            raise ConfigurationError("level width must be positive")
+        self.num_levels = num_levels
+        self.level_width = level_width
+        self.levels: List[Deque[Element]] = [
+            deque() for _ in range(num_levels)]
+        self._count = 0
+        self._next_seq = 0
+
+    def level_index(self, element: Element) -> int:
+        raw = int(float(element.rank) / self.level_width)
+        return min(raw, self.num_levels - 1)
+
+    @property
+    def capacity(self) -> int:
+        return int(2 ** 62)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def enqueue(self, element: Element) -> None:
+        element.seq = self._next_seq
+        self._next_seq += 1
+        self.levels[self.level_index(element)].append(element)
+        self._count += 1
+
+    def dequeue(self, now: Time,
+                group_range: Optional[Tuple[int, int]] = None,
+                ) -> Optional[Element]:
+        for level in self.levels:
+            if not level:
+                continue
+            if level[0].is_eligible(now, group_range):
+                self._count -= 1
+                return level.popleft()
+        return None
+
+    def peek(self, now: Time,
+             group_range: Optional[Tuple[int, int]] = None,
+             ) -> Optional[Element]:
+        for level in self.levels:
+            if level and level[0].is_eligible(now, group_range):
+                return level[0]
+        return None
+
+    def dequeue_flow(self, flow_id: Hashable) -> Optional[Element]:
+        for level in self.levels:
+            for index, element in enumerate(level):
+                if element.flow_id == flow_id:
+                    del level[index]
+                    self._count -= 1
+                    return element
+        return None
+
+    def snapshot(self) -> List[Element]:
+        elements: List[Element] = []
+        for level in self.levels:
+            elements.extend(level)
+        return elements
+
+    def min_send_time(self) -> Time:
+        times = [element.send_time for element in self.snapshot()]
+        return min(times) if times else math.inf

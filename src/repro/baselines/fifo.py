@@ -1,0 +1,44 @@
+"""FIFO scheduling (Section 2.3).
+
+"FIFO is the most basic scheduling primitive, which simply schedules
+elements in the order of their arrival. ... FIFO based schedulers are the
+most common packet schedulers in hardware, as their simplicity enables
+both fast and scalable scheduling" — at the price of expressing almost no
+scheduling policy.  Used as the expressiveness baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, Hashable, List
+
+from repro.sim.flow import FlowQueue
+from repro.sim.packet import Packet
+
+
+class FifoScheduler:
+    """Transmit-engine-compatible single FIFO over all arriving packets."""
+
+    def __init__(self) -> None:
+        self.queue: Deque[Packet] = deque()
+        self.flows: Dict[Hashable, FlowQueue] = {}
+        self.decisions = 0
+
+    def add_flow(self, flow: FlowQueue) -> FlowQueue:
+        self.flows[flow.flow_id] = flow
+        return flow
+
+    def on_arrival(self, flow_id: Hashable, packet: Packet,
+                   now: float) -> bool:
+        self.queue.append(packet)
+        return len(self.queue) == 1
+
+    def schedule(self, now: float) -> List[Packet]:
+        self.decisions += 1
+        if not self.queue:
+            return []
+        return [self.queue.popleft()]
+
+    def next_eligible_time(self, now: float) -> float:
+        return math.inf

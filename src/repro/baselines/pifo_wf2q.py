@@ -1,0 +1,138 @@
+"""WF2Q+ emulation attempts on PIFO — the Fig. 2 expressiveness study.
+
+Section 2.3 argues that WF2Q+ — schedule the *smallest-finish-time* flow
+among flows whose *start time* has been reached — cannot be expressed on
+PIFO:
+
+* a single PIFO ordered by finish time ignores eligibility and serves
+  ineligible packets early (Fig. 2d, top row);
+* a single PIFO ordered by start time serves eligible packets in start
+  order, not finish order (Fig. 2d, bottom row);
+* two PIFOs (an eligibility PIFO ordered by start time releasing into a
+  rank PIFO ordered by finish time, Fig. 2e) still fail, because O(N)
+  elements can become eligible at the same instant and the eligibility
+  PIFO releases them one per decision in *start* order — so an element
+  with a larger start but smaller finish waits behind its release,
+  deviating by up to O(N) positions from the ideal order.
+
+This module implements the ideal WF2Q+ reference and all three PIFO
+emulations over a common workload description (one head packet per flow,
+with precomputed virtual start/finish times), and measures order
+deviation.  PIEO itself reproduces the ideal order exactly — asserted in
+the Fig. 2 tests and benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class HeadPacket:
+    """One flow's head packet in the Fig. 2 example system."""
+
+    name: str
+    length: float          # transmission length (virtual-time units)
+    start_time: float      # virtual start (eligibility) time
+    finish_time: float     # virtual finish time (the WF2Q+ rank)
+
+
+def ideal_wf2q_order(packets: Sequence[HeadPacket]) -> List[str]:
+    """The ideal WF2Q+ schedule (Fig. 2c): among packets with
+    ``start_time <= virtual_time`` serve the smallest finish time; the
+    virtual clock advances by each served packet's length, jumping to the
+    earliest start time when nothing is eligible."""
+    pending = list(packets)
+    virtual_time = 0.0
+    order: List[str] = []
+    while pending:
+        eligible = [p for p in pending if p.start_time <= virtual_time]
+        if not eligible:
+            virtual_time = min(p.start_time for p in pending)
+            continue
+        chosen = min(eligible, key=lambda p: (p.finish_time, p.start_time))
+        order.append(chosen.name)
+        pending.remove(chosen)
+        virtual_time += chosen.length
+    return order
+
+
+def single_pifo_order(packets: Sequence[HeadPacket],
+                      key: str = "finish_time") -> List[str]:
+    """A single PIFO ordered by ``key`` (Fig. 2d): dequeue is always from
+    the head, so the order is simply the rank order — eligibility is
+    ignored entirely."""
+    if key not in ("finish_time", "start_time"):
+        raise ValueError("key must be 'finish_time' or 'start_time'")
+    ranked = sorted(packets, key=lambda p: getattr(p, key))
+    return [p.name for p in ranked]
+
+
+def two_pifo_order(packets: Sequence[HeadPacket]) -> List[str]:
+    """The two-PIFO emulation (Fig. 2e).
+
+    Eligibility PIFO (ordered by start time) releases its head into the
+    rank PIFO (ordered by finish time) when the head becomes eligible;
+    one release opportunity exists per scheduling decision.  The rank
+    PIFO transmits its head.  Because releases happen in start-time
+    order, a simultaneous eligibility burst is serialized and the wrong
+    element can reach the rank PIFO first (the paper's C/D inversion).
+    """
+    eligibility = sorted(packets, key=lambda p: p.start_time)
+    rank: List[HeadPacket] = []
+    virtual_time = 0.0
+    order: List[str] = []
+    while eligibility or rank:
+        # One release opportunity per decision: move the eligibility-PIFO
+        # head if its start time has been reached.
+        if eligibility and eligibility[0].start_time <= virtual_time:
+            released = eligibility.pop(0)
+            position = len(rank)
+            for index, resident in enumerate(rank):
+                if resident.finish_time > released.finish_time:
+                    position = index
+                    break
+            rank.insert(position, released)
+        if rank:
+            chosen = rank.pop(0)
+            order.append(chosen.name)
+            virtual_time += chosen.length
+        elif eligibility:
+            # Idle: jump to the next eligibility instant.
+            virtual_time = max(virtual_time, eligibility[0].start_time)
+    return order
+
+
+def order_deviation(ideal: Sequence[str],
+                    actual: Sequence[str]) -> Tuple[int, float]:
+    """(max, mean) per-element deviation between two schedules."""
+    positions = {name: index for index, name in enumerate(actual)}
+    deviations = [abs(index - positions[name])
+                  for index, name in enumerate(ideal)]
+    if not deviations:
+        return 0, 0.0
+    return max(deviations), sum(deviations) / len(deviations)
+
+
+def paper_example() -> List[HeadPacket]:
+    """A six-flow example reconstructed from Fig. 2's description.
+
+    The published figure is not machine-readable in our source text, so
+    the exact constants differ, but the example preserves every property
+    the prose relies on: packets of different sizes; C, D, E and F all
+    become eligible at the same virtual instant (t=5); C then has the
+    smallest finish time of all waiting packets but *not* the smallest
+    start time, so (i) a finish-ordered single PIFO serves C before it is
+    eligible, (ii) a start-ordered single PIFO serves D before C, and
+    (iii) the two-PIFO emulation releases D into the rank PIFO first and
+    schedules D before C — the inversion described in Section 2.3.
+    """
+    return [
+        HeadPacket("A", length=10, start_time=0, finish_time=20),
+        HeadPacket("B", length=20, start_time=0, finish_time=45),
+        HeadPacket("C", length=5, start_time=5, finish_time=15),
+        HeadPacket("D", length=10, start_time=4, finish_time=55),
+        HeadPacket("E", length=10, start_time=5, finish_time=60),
+        HeadPacket("F", length=5, start_time=5, finish_time=65),
+    ]

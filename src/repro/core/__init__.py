@@ -1,0 +1,27 @@
+"""Core scheduling primitives: elements, predicates, PIEO, and PIFO."""
+
+from repro.core.element import (ALWAYS_ELIGIBLE, NEVER_ELIGIBLE, Element,
+                                Rank, Time)
+from repro.core.interfaces import OrderedList, PieoList
+from repro.core.opstats import OpCounters
+from repro.core.pieo import CYCLES_PER_OP, PieoHardwareList
+from repro.core.pifo import (PIFO_CYCLES_PER_OP, PifoDesignPieoList,
+                             PifoHardwareList)
+from repro.core.reference import ReferencePieo
+
+__all__ = [
+    "ALWAYS_ELIGIBLE",
+    "NEVER_ELIGIBLE",
+    "Element",
+    "Rank",
+    "Time",
+    "OrderedList",
+    "PieoList",
+    "OpCounters",
+    "CYCLES_PER_OP",
+    "PieoHardwareList",
+    "PIFO_CYCLES_PER_OP",
+    "PifoDesignPieoList",
+    "PifoHardwareList",
+    "ReferencePieo",
+]

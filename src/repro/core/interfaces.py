@@ -1,0 +1,112 @@
+"""Abstract interfaces shared by every ordered-list implementation.
+
+Three implementations ship with the library:
+
+* :class:`repro.core.reference.ReferencePieo` — the semantic oracle,
+* :class:`repro.core.pieo.PieoHardwareList` — the cycle-accurate model of
+  the paper's hardware design (Section 5),
+* :class:`repro.core.pifo.PifoHardwareList` — the parallel
+  compare-and-shift PIFO baseline [Sivaraman et al., SIGCOMM 2016].
+
+They all speak the same interface so schedulers, tests, and benchmarks can
+swap them freely.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Hashable, Iterator, List, Optional, Tuple
+
+from repro.core.element import Element, Time
+
+
+class OrderedList(abc.ABC):
+    """An ordered list of :class:`Element` kept in increasing rank order.
+
+    Equal ranks preserve enqueue (FIFO) order.  The list has a fixed
+    capacity, mirroring a hardware structure of fixed size.
+    """
+
+    @property
+    @abc.abstractmethod
+    def capacity(self) -> int:
+        """Maximum number of resident elements."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of resident elements."""
+
+    @abc.abstractmethod
+    def enqueue(self, element: Element) -> None:
+        """Insert ``element`` at the position dictated by its rank
+        ("Push-In").
+
+        Raises
+        ------
+        CapacityError
+            If the list is full.
+        DuplicateFlowError
+            If an element with the same ``flow_id`` is already resident.
+        """
+
+    @abc.abstractmethod
+    def dequeue_flow(self, flow_id: Hashable) -> Optional[Element]:
+        """Dequeue the specific element ``flow_id`` (``dequeue(f)``).
+
+        Returns ``None`` if the flow is not resident, matching the paper's
+        NULL return.
+        """
+
+    @abc.abstractmethod
+    def snapshot(self) -> List[Element]:
+        """Return resident elements in increasing (rank, seq) order.
+
+        Intended for tests and debugging; makes no claim about cost.
+        """
+
+    def __iter__(self) -> Iterator[Element]:
+        return iter(self.snapshot())
+
+    def __contains__(self, flow_id: Hashable) -> bool:
+        return any(e.flow_id == flow_id for e in self.snapshot())
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    @property
+    def is_full(self) -> bool:
+        return len(self) >= self.capacity
+
+
+class PieoList(OrderedList):
+    """Ordered list supporting the PIEO "Extract-Out" primitive."""
+
+    @abc.abstractmethod
+    def dequeue(self, now: Time,
+                group_range: Optional[Tuple[int, int]] = None,
+                ) -> Optional[Element]:
+        """Dequeue the smallest-ranked *eligible* element ("Extract-Out").
+
+        An element is eligible iff ``now >= element.send_time`` and, when
+        ``group_range=(lo, hi)`` is given, ``lo <= element.group <= hi``
+        (logical-PIEO extraction, Section 4.3).  Returns ``None`` when no
+        eligible element exists.
+        """
+
+    @abc.abstractmethod
+    def peek(self, now: Time,
+             group_range: Optional[Tuple[int, int]] = None,
+             ) -> Optional[Element]:
+        """Like :meth:`dequeue` but non-destructive.
+
+        Not a paper primitive; provided for simulators that need to know
+        whether a dequeue would succeed without consuming the element.
+        """
+
+    @abc.abstractmethod
+    def min_send_time(self) -> Time:
+        """Smallest ``send_time`` among resident elements.
+
+        Returns ``+inf`` when the list is empty.  Simulators use it to jump
+        the clock to the next instant at which a dequeue can succeed.
+        """

@@ -1,0 +1,75 @@
+"""Operation accounting shared by the cycle-accurate hardware models.
+
+The paper's evaluation is driven by three hardware quantities:
+
+* clock cycles per primitive operation (4 for PIEO, Section 5.2),
+* SRAM port usage (two sublists per cycle on dual-port SRAM, Section 6.2),
+* parallel comparator / priority-encoder activations (the O(sqrt(N)) vs
+  O(N) scalability argument, Sections 1 and 5.1).
+
+Every model charges its work to an :class:`OpCounters` instance so tests
+and benchmarks can assert cycle counts and derive scheduling rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class OpCounters:
+    """Mutable counters for one hardware structure."""
+
+    cycles: int = 0
+    sram_sublist_reads: int = 0
+    sram_sublist_writes: int = 0
+    comparator_activations: int = 0
+    encoder_activations: int = 0
+    flipflop_shifts: int = 0
+    ops: Dict[str, int] = field(default_factory=dict)
+
+    def charge_op(self, name: str, cycles: int) -> None:
+        """Record one completed primitive operation of ``cycles`` cycles."""
+        self.ops[name] = self.ops.get(name, 0) + 1
+        self.cycles += cycles
+
+    def charge_compare(self, width: int) -> None:
+        """Record one parallel compare over ``width`` lanes."""
+        self.comparator_activations += width
+
+    def charge_encode(self) -> None:
+        self.encoder_activations += 1
+
+    def charge_sram_read(self, sublists: int = 1) -> None:
+        self.sram_sublist_reads += sublists
+
+    def charge_sram_write(self, sublists: int = 1) -> None:
+        self.sram_sublist_writes += sublists
+
+    def total_ops(self) -> int:
+        return sum(self.ops.values())
+
+    def reset(self) -> None:
+        self.cycles = 0
+        self.sram_sublist_reads = 0
+        self.sram_sublist_writes = 0
+        self.comparator_activations = 0
+        self.encoder_activations = 0
+        self.flipflop_shifts = 0
+        self.ops = {}
+
+    def snapshot(self) -> Dict[str, float]:
+        """Return a plain-dict view, convenient for reports."""
+        view: Dict[str, float] = {
+            "cycles": self.cycles,
+            "sram_sublist_reads": self.sram_sublist_reads,
+            "sram_sublist_writes": self.sram_sublist_writes,
+            "comparator_activations": self.comparator_activations,
+            "encoder_activations": self.encoder_activations,
+            "flipflop_shifts": self.flipflop_shifts,
+            "total_ops": self.total_ops(),
+        }
+        for name, count in self.ops.items():
+            view[f"op:{name}"] = count
+        return view

@@ -1,0 +1,17 @@
+"""Cycle-accurate model of the PIEO hardware design (Section 5)."""
+
+from repro.core.pieo.hardware_list import (CYCLES_PER_OP, OpTrace,
+                                           PieoHardwareList,
+                                           default_sublist_size)
+from repro.core.pieo.structures import (OrderedSublistArray, PointerEntry,
+                                        Sublist)
+
+__all__ = [
+    "CYCLES_PER_OP",
+    "OpTrace",
+    "PieoHardwareList",
+    "default_sublist_size",
+    "OrderedSublistArray",
+    "PointerEntry",
+    "Sublist",
+]

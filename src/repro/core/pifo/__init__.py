@@ -1,0 +1,11 @@
+"""Cycle-accurate model of the PIFO baseline and its PIEO-capable variant."""
+
+from repro.core.pifo.flipflop_list import (PIFO_CYCLES_PER_OP,
+                                           PifoDesignPieoList,
+                                           PifoHardwareList)
+
+__all__ = [
+    "PIFO_CYCLES_PER_OP",
+    "PifoDesignPieoList",
+    "PifoHardwareList",
+]

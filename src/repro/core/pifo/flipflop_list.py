@@ -1,0 +1,154 @@
+"""Cycle-accurate model of the PIFO baseline [Sivaraman et al. 2016].
+
+PIFO stores the entire ordered list in flip-flops and associates a
+comparator with every element, following the classic parallel
+compare-and-shift architecture [Moon et al. 2000]:
+
+* ``enqueue(f)``: one parallel compare over all N resident elements, a
+  priority encode, and a single-cycle shift of the tail of the array —
+  O(1) time, O(N) comparators and flip-flops;
+* ``dequeue()``: pop the head — O(1) time.
+
+This is the scalability baseline for Figs. 8 and 10: resource usage grows
+linearly with N, which is what limits PIFO to ~1K elements on the paper's
+FPGA (64% of ALMs at 1K).
+
+Two variants are provided:
+
+* :class:`PifoHardwareList` — the PIFO primitive itself (no eligibility
+  filtering; dequeue always returns the overall head).
+* :class:`PifoDesignPieoList` — the paper's footnote 7: the *PIEO
+  primitive* implemented on PIFO's flip-flop design.  Predicates are
+  evaluated in parallel in flip-flops in one clock cycle, so each
+  primitive op still takes one cycle, but the comparator/flip-flop cost
+  remains O(N).  Used by the expressiveness-vs-scalability trade-off
+  benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, List, Optional, Tuple
+
+from repro.core.element import Element, Time
+from repro.core.interfaces import OrderedList, PieoList
+from repro.core.opstats import OpCounters
+from repro.errors import CapacityError, DuplicateFlowError
+
+#: Clock cycles per PIFO primitive operation (fully parallel design).
+PIFO_CYCLES_PER_OP = 1
+
+
+class _FlipFlopOrderedList(OrderedList):
+    """Shared storage/accounting for the flip-flop based designs."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = capacity
+        self._items: List[Element] = []
+        self._next_seq = 0
+        self.counters = OpCounters()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, flow_id: Hashable) -> bool:
+        return any(item.flow_id == flow_id for item in self._items)
+
+    def snapshot(self) -> List[Element]:
+        return list(self._items)
+
+    def enqueue(self, element: Element) -> None:
+        """Parallel compare-and-shift insertion (one cycle)."""
+        if len(self._items) >= self._capacity:
+            raise CapacityError(f"PIFO full (capacity {self._capacity})")
+        if element.flow_id in self:
+            raise DuplicateFlowError(
+                f"flow {element.flow_id!r} already resident")
+        element.seq = self._next_seq
+        self._next_seq += 1
+        # One comparator per resident element fires simultaneously.
+        self.counters.charge_compare(len(self._items))
+        self.counters.charge_encode()
+        position = self._insert_position(element.rank)
+        # All elements to the right of the insert point shift by one.
+        self.counters.flipflop_shifts += len(self._items) - position
+        self._items.insert(position, element)
+        self.counters.charge_op("enqueue", PIFO_CYCLES_PER_OP)
+
+    def dequeue_flow(self, flow_id: Hashable) -> Optional[Element]:
+        """Remove a specific element (parallel compare on flow id)."""
+        self.counters.charge_compare(len(self._items))
+        self.counters.charge_encode()
+        for position, item in enumerate(self._items):
+            if item.flow_id == flow_id:
+                self.counters.flipflop_shifts += (
+                    len(self._items) - position - 1)
+                self.counters.charge_op("dequeue_flow", PIFO_CYCLES_PER_OP)
+                return self._items.pop(position)
+        self.counters.charge_op("dequeue_flow_null", PIFO_CYCLES_PER_OP)
+        return None
+
+    def _insert_position(self, rank: float) -> int:
+        for position, item in enumerate(self._items):
+            if item.rank > rank:
+                return position
+        return len(self._items)
+
+
+class PifoHardwareList(_FlipFlopOrderedList):
+    """The PIFO primitive: enqueue by rank, dequeue from the head."""
+
+    def dequeue(self) -> Optional[Element]:
+        """Extract the head ("smallest ranked") element, or None."""
+        if not self._items:
+            self.counters.charge_op("dequeue_null", PIFO_CYCLES_PER_OP)
+            return None
+        self.counters.flipflop_shifts += len(self._items) - 1
+        self.counters.charge_op("dequeue", PIFO_CYCLES_PER_OP)
+        return self._items.pop(0)
+
+    def peek(self) -> Optional[Element]:
+        return self._items[0] if self._items else None
+
+
+class PifoDesignPieoList(_FlipFlopOrderedList, PieoList):
+    """PIEO semantics on PIFO's O(N) flip-flop design (footnote 7).
+
+    Every resident element's predicate is evaluated in parallel in one
+    cycle, so the operation latency matches PIFO while the expressiveness
+    matches PIEO.  The price is the O(N) comparator/flip-flop footprint,
+    which is exactly the trade-off Section 6.2 discusses.
+    """
+
+    def dequeue(self, now: Time,
+                group_range: Optional[Tuple[int, int]] = None,
+                ) -> Optional[Element]:
+        self.counters.charge_compare(len(self._items))
+        self.counters.charge_encode()
+        for position, item in enumerate(self._items):
+            if item.is_eligible(now, group_range):
+                self.counters.flipflop_shifts += (
+                    len(self._items) - position - 1)
+                self.counters.charge_op("dequeue", PIFO_CYCLES_PER_OP)
+                return self._items.pop(position)
+        self.counters.charge_op("dequeue_null", PIFO_CYCLES_PER_OP)
+        return None
+
+    def peek(self, now: Time,
+             group_range: Optional[Tuple[int, int]] = None,
+             ) -> Optional[Element]:
+        for item in self._items:
+            if item.is_eligible(now, group_range):
+                return item
+        return None
+
+    def min_send_time(self) -> Time:
+        if not self._items:
+            return math.inf
+        return min(item.send_time for item in self._items)

@@ -1,0 +1,94 @@
+"""Eligibility-predicate encodings.
+
+Section 3.1 restricts the complexity of predicates so the hardware can
+evaluate them in parallel in one cycle: "for most packet scheduling
+algorithms, the predicate usually takes the form (t_current >= t_eligible)".
+Section 5.2 encodes it as a single ``send_time`` value per element, and
+Section 8 notes the implementation "can be naturally extended to support
+predicates of the form a <= key <= b".
+
+This module provides small predicate objects covering exactly those forms,
+each of which *compiles* to the per-element encoding the hardware stores:
+
+* :class:`TimePredicate`      -> a ``send_time`` value
+* :class:`AlwaysTrue` / :class:`AlwaysFalse` -> send_time 0 / infinity
+* :class:`GroupRangePredicate`-> a dequeue-side ``(lo, hi)`` group filter,
+  used for logical-PIEO extraction in hierarchical scheduling (Section 4.3)
+  and for range filtering in the dictionary ADT (Section 8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.element import ALWAYS_ELIGIBLE, NEVER_ELIGIBLE, Time
+
+
+@dataclass(frozen=True)
+class TimePredicate:
+    """The canonical predicate ``t_current >= send_time``."""
+
+    send_time: Time
+
+    def __call__(self, now: Time) -> bool:
+        return now >= self.send_time
+
+    def encode(self) -> Time:
+        """Return the ``send_time`` the hardware stores for this predicate."""
+        return self.send_time
+
+
+class AlwaysTrue(TimePredicate):
+    """Predicate that is always true (send_time = 0)."""
+
+    def __init__(self) -> None:
+        super().__init__(ALWAYS_ELIGIBLE)
+
+
+class AlwaysFalse(TimePredicate):
+    """Predicate that is always false (send_time = infinity)."""
+
+    def __init__(self) -> None:
+        super().__init__(NEVER_ELIGIBLE)
+
+
+@dataclass(frozen=True)
+class GroupRangePredicate:
+    """Dequeue-side filter ``lo <= element.group <= hi``.
+
+    In hierarchical scheduling (Section 4.3) a non-leaf node ``p`` owns the
+    contiguous index range ``[p.start, p.end]`` of the shared physical PIEO;
+    passing this predicate to ``dequeue`` extracts ``p``'s logical PIEO.
+    """
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(
+                f"empty group range [{self.lo}, {self.hi}]")
+
+    def __call__(self, group: int) -> bool:
+        return self.lo <= group <= self.hi
+
+    def as_tuple(self) -> Tuple[int, int]:
+        return (self.lo, self.hi)
+
+
+def encode_send_time(predicate: Optional[TimePredicate]) -> Time:
+    """Compile an optional time predicate to its send_time encoding.
+
+    ``None`` means "always eligible" and encodes to 0, matching the default
+    behaviour of the programming framework (Section 3.2.1).
+    """
+    if predicate is None:
+        return ALWAYS_ELIGIBLE
+    return predicate.encode()
+
+
+def is_never(send_time: Time) -> bool:
+    """True if the encoded predicate can never become true."""
+    return math.isinf(send_time) and send_time > 0

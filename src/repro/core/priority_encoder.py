@@ -1,0 +1,52 @@
+"""Priority encoder and parallel comparator helpers.
+
+Fig. 5 of the paper: "A priority encoder takes as input a bit vector and
+returns the smallest index containing 1."  Enqueue and dequeue both work by
+running parallel comparisons over an array (the pointer array or one
+sublist) and feeding the resulting bit vector to a priority encoder.
+
+These helpers are pure functions; the cycle-accurate models charge their
+comparator/encoder usage to their own operation counters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def priority_encode(bits: Sequence[bool]) -> Optional[int]:
+    """Return the smallest index whose bit is set, or ``None`` if all zero."""
+    for index, bit in enumerate(bits):
+        if bit:
+            return index
+    return None
+
+
+def priority_encode_last(bits: Sequence[bool]) -> Optional[int]:
+    """Return the *largest* index whose bit is set, or ``None`` if all zero.
+
+    Used where the hardware flips the input bit order (e.g. finding the
+    last non-empty sublist).
+    """
+    for index in range(len(bits) - 1, -1, -1):
+        if bits[index]:
+            return index
+    return None
+
+
+def parallel_compare(items: Sequence[T],
+                     predicate: Callable[[T], bool]) -> List[bool]:
+    """Evaluate ``predicate`` on every item "in parallel".
+
+    Models one comparator per item; the caller charges ``len(items)``
+    comparator activations for the cycle in which this runs.
+    """
+    return [predicate(item) for item in items]
+
+
+def first_match(items: Sequence[T],
+                predicate: Callable[[T], bool]) -> Optional[int]:
+    """Parallel compare + priority encode in one step."""
+    return priority_encode(parallel_compare(items, predicate))

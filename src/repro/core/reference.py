@@ -1,0 +1,128 @@
+"""Reference (software oracle) implementation of the PIEO primitive.
+
+This implementation is *semantically exact* with respect to Section 3.1 of
+the paper and deliberately simple: an array kept sorted by ``(rank, seq)``
+with a linear eligibility scan at dequeue.  It makes no performance or
+hardware-fidelity claims — it exists so the cycle-accurate hardware model
+(:mod:`repro.core.pieo`) can be differentially tested against it, and as a
+convenient pure-software PIEO for simulations where hardware accounting is
+not needed.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.core.element import Element, Time
+from repro.core.interfaces import PieoList
+from repro.errors import CapacityError, DuplicateFlowError
+
+
+class ReferencePieo(PieoList):
+    """Exact-semantics PIEO ordered list.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of resident elements.  Defaults to unbounded
+        (``None``) for pure-software use; pass a value to mirror a
+        hardware list of fixed size.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._items: List[Element] = []
+        self._keys: List[Tuple] = []  # parallel (rank, seq) keys for bisect
+        self._resident: Dict[Hashable, Element] = {}
+        self._next_seq = 0
+
+    # ------------------------------------------------------------------
+    # OrderedList interface
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        if self._capacity is None:
+            return int(2 ** 62)
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def enqueue(self, element: Element) -> None:
+        if self._capacity is not None and len(self._items) >= self._capacity:
+            raise CapacityError(
+                f"ReferencePieo full (capacity {self._capacity})")
+        if element.flow_id in self._resident:
+            raise DuplicateFlowError(
+                f"flow {element.flow_id!r} already resident")
+        element.seq = self._next_seq
+        self._next_seq += 1
+        key = element.sort_key()
+        position = bisect.bisect_left(self._keys, key)
+        self._items.insert(position, element)
+        self._keys.insert(position, key)
+        self._resident[element.flow_id] = element
+
+    def dequeue_flow(self, flow_id: Hashable) -> Optional[Element]:
+        element = self._resident.get(flow_id)
+        if element is None:
+            return None
+        position = self._index_of(element)
+        return self._pop(position)
+
+    def snapshot(self) -> List[Element]:
+        return list(self._items)
+
+    def __contains__(self, flow_id: Hashable) -> bool:
+        return flow_id in self._resident
+
+    # ------------------------------------------------------------------
+    # PieoList interface
+    # ------------------------------------------------------------------
+    def dequeue(self, now: Time,
+                group_range: Optional[Tuple[int, int]] = None,
+                ) -> Optional[Element]:
+        position = self._first_eligible(now, group_range)
+        if position is None:
+            return None
+        return self._pop(position)
+
+    def peek(self, now: Time,
+             group_range: Optional[Tuple[int, int]] = None,
+             ) -> Optional[Element]:
+        position = self._first_eligible(now, group_range)
+        if position is None:
+            return None
+        return self._items[position]
+
+    def min_send_time(self) -> Time:
+        if not self._items:
+            return math.inf
+        return min(element.send_time for element in self._items)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _first_eligible(self, now: Time,
+                        group_range: Optional[Tuple[int, int]],
+                        ) -> Optional[int]:
+        for position, element in enumerate(self._items):
+            if element.is_eligible(now, group_range):
+                return position
+        return None
+
+    def _index_of(self, element: Element) -> int:
+        position = bisect.bisect_left(self._keys, element.sort_key())
+        while self._items[position] is not element:
+            position += 1
+        return position
+
+    def _pop(self, position: int) -> Element:
+        element = self._items.pop(position)
+        self._keys.pop(position)
+        del self._resident[element.flow_id]
+        return element

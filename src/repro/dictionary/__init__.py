@@ -1,0 +1,5 @@
+"""PIEO as an abstract dictionary data type (Section 8)."""
+
+from repro.dictionary.pieo_dict import PieoDict
+
+__all__ = ["PieoDict"]

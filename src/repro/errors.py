@@ -1,0 +1,50 @@
+"""Exception hierarchy for the PIEO reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch any library failure with a single ``except`` clause while still being
+able to discriminate the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CapacityError(ReproError):
+    """An ordered list or queue was asked to hold more elements than its
+    fixed hardware capacity allows."""
+
+
+class DuplicateFlowError(ReproError):
+    """An element with a flow id already present in the ordered list was
+    enqueued.
+
+    The PIEO scheduler keeps at most one entry per flow in the ordered list
+    (the entry represents the packet at the head of that flow's FIFO queue),
+    and the hardware design tracks a single sublist id per flow to implement
+    ``dequeue(f)``.  Duplicate entries would make that mapping ambiguous.
+    """
+
+
+class UnknownFlowError(ReproError):
+    """An operation referenced a flow id that is not registered."""
+
+
+class InvariantViolation(ReproError):
+    """An internal hardware-model invariant was violated.
+
+    Raised by the self-checking machinery of the cycle-accurate models
+    (e.g. Invariant 1 of the paper: no two consecutive partially-full
+    sublists).  Seeing this exception indicates a bug in the model, never
+    a user error.
+    """
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or programmed with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""

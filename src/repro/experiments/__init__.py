@@ -1,0 +1,74 @@
+"""Evaluation harness: one module per paper figure plus ablations.
+
+Run everything from the command line::
+
+    python -m repro.experiments
+
+or regenerate individual figures through the functions re-exported here
+(each returns a :class:`repro.experiments.runner.Table`).
+"""
+
+from repro.experiments.ablation_sublist import sublist_ablation_table
+from repro.experiments.ablation_trigger import trigger_ablation_table
+from repro.experiments.approx_structures import approx_structures_table
+from repro.experiments.end_to_end_shaping import shaping_comparison_table
+from repro.experiments.structure_comparison import structure_comparison_table
+from repro.experiments.fig2_expressiveness import (deviation_sweep,
+                                                   example_table,
+                                                   run_paper_example)
+from repro.experiments.fig8_alms import alms_table
+from repro.experiments.fig9_sram import sram_table
+from repro.experiments.fig10_clock import clock_table
+from repro.experiments.fig11_rate_limit import (all_nodes_table,
+                                                rate_limit_table)
+from repro.experiments.fig12_fair_queue import fair_queue_table
+from repro.experiments.pipeline_rate import pipeline_table
+from repro.experiments.runner import Table
+from repro.experiments.scalability import scalability_table
+from repro.experiments.scheduling_rate import (measured_cycles_per_op,
+                                               rate_table)
+
+__all__ = [
+    "sublist_ablation_table",
+    "trigger_ablation_table",
+    "approx_structures_table",
+    "shaping_comparison_table",
+    "structure_comparison_table",
+    "pipeline_table",
+    "deviation_sweep",
+    "example_table",
+    "run_paper_example",
+    "alms_table",
+    "sram_table",
+    "clock_table",
+    "all_nodes_table",
+    "rate_limit_table",
+    "fair_queue_table",
+    "Table",
+    "scalability_table",
+    "measured_cycles_per_op",
+    "rate_table",
+    "all_tables",
+]
+
+
+def all_tables():
+    """Generate every evaluation table (several seconds of simulation)."""
+    return [
+        example_table(),
+        deviation_sweep(),
+        alms_table(),
+        sram_table(),
+        clock_table(),
+        rate_table(),
+        scalability_table(),
+        rate_limit_table(),
+        all_nodes_table(),
+        fair_queue_table(),
+        sublist_ablation_table(),
+        approx_structures_table(),
+        trigger_ablation_table(),
+        pipeline_table(),
+        shaping_comparison_table(),
+        structure_comparison_table(),
+    ]

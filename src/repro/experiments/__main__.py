@@ -1,0 +1,67 @@
+"""CLI: regenerate every paper figure/table.
+
+Usage::
+
+    python -m repro.experiments            # everything
+    python -m repro.experiments fig11      # one experiment by keyword
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (alms_table, all_nodes_table,
+                               approx_structures_table, clock_table,
+                               deviation_sweep, example_table,
+                               fair_queue_table, pipeline_table,
+                               rate_limit_table, rate_table,
+                               scalability_table,
+                               shaping_comparison_table, sram_table,
+                               structure_comparison_table,
+                               sublist_ablation_table,
+                               trigger_ablation_table)
+
+EXPERIMENTS = {
+    "fig2": (example_table, deviation_sweep),
+    "fig8": (alms_table,),
+    "fig9": (sram_table,),
+    "fig10": (clock_table,),
+    "fig11": (rate_limit_table, all_nodes_table),
+    "fig12": (fair_queue_table,),
+    "rate": (rate_table,),
+    "scalability": (scalability_table,),
+    "ablation": (sublist_ablation_table, approx_structures_table,
+                 trigger_ablation_table),
+    "pipeline": (pipeline_table,),
+    "shaping": (shaping_comparison_table,),
+    "structures": (structure_comparison_table,),
+}
+
+
+def _print_charts() -> None:
+    from repro.experiments.charts import (fig8_chart, fig10_chart,
+                                          fig11_chart)
+    for chart_fn in (fig8_chart, fig10_chart, fig11_chart):
+        print(chart_fn())
+        print()
+
+
+def main(argv) -> int:
+    """CLI entry point: print the selected (or all) experiments."""
+    keys = argv[1:] if len(argv) > 1 else list(EXPERIMENTS) + ["charts"]
+    for key in keys:
+        if key == "charts":
+            _print_charts()
+            continue
+        if key not in EXPERIMENTS:
+            print(f"unknown experiment {key!r}; choose from "
+                  f"{', '.join(EXPERIMENTS)}, charts")
+            return 2
+        for table_fn in EXPERIMENTS[key]:
+            print(table_fn().to_text())
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,99 @@
+"""Ablation: input- vs output-triggered Pre-Enqueue (Section 3.2.1).
+
+"The trade-off is that while the output-triggered model can provide more
+precise guarantees for certain shaping policies, it also puts the
+Pre-Enqueue function on the critical path of scheduling."
+
+Scenario quantifying the precision side: a flow with a deep backlog is
+token-bucket shaped at a low rate; mid-run the control plane raises its
+rate limit 4x.
+
+* output-triggered: tokens/send-times are computed at head-of-line time,
+  so the very next packet uses the new rate — adaptation is immediate;
+* input-triggered: every queued packet was stamped with rank/send_time
+  at arrival under the *old* rate, so the flow keeps transmitting at the
+  stale rate until the pre-change backlog drains.
+
+The table reports the achieved rate in consecutive windows after the
+change, plus the adaptation lag.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.runner import Table
+from repro.sched.base import TriggerModel
+from repro.sched.control import ControlPlane
+from repro.sched.framework import PieoScheduler
+from repro.sched.token_bucket import TokenBucket
+from repro.sim.engine import TransmitEngine
+from repro.sim.events import Simulator
+from repro.sim.flow import FlowQueue
+from repro.sim.link import Link, gbps
+from repro.sim.packet import Packet
+
+OLD_RATE_GBPS = 1.0
+NEW_RATE_GBPS = 4.0
+CHANGE_AT = 0.5e-3
+#: Deep enough that the backlog outlives the measurement under either
+#: trigger model (no drain artefacts).
+BACKLOG_PACKETS = 800
+WINDOW = 0.2e-3
+
+
+def run_trigger_model(trigger: TriggerModel,
+                      duration: float = 2.5e-3) -> List[float]:
+    """Achieved rate (Gbps) per WINDOW bucket after the rate change."""
+    sim = Simulator()
+    link = Link(gbps(10))
+    scheduler = PieoScheduler(TokenBucket(), trigger=trigger,
+                              link_rate_bps=link.rate_bps)
+    flow = scheduler.add_flow(FlowQueue("f",
+                                        rate_bps=gbps(OLD_RATE_GBPS)))
+    engine = TransmitEngine(sim, scheduler, link)
+    control = ControlPlane(scheduler)
+    for _ in range(BACKLOG_PACKETS):
+        engine.arrival_sink("f", Packet("f", arrival_time=0.0))
+    sim.schedule(CHANGE_AT, lambda: (
+        control.set_rate_limit("f", gbps(NEW_RATE_GBPS), now=sim.now),
+        engine.kick()))
+    sim.run_until(duration)
+    series = engine.recorder.rate_timeseries(bucket_seconds=WINDOW)
+    start_bucket = int(CHANGE_AT / WINDOW) + 1
+    # Drop the final (partial) window.
+    return [rate / 1e9 for rate in series.get("f", [])[start_bucket:-1]]
+
+
+def adaptation_lag_windows(rates: List[float],
+                           threshold: float = 0.9) -> Optional[int]:
+    """Windows until the achieved rate reaches threshold * new rate."""
+    for index, rate in enumerate(rates):
+        if rate >= threshold * NEW_RATE_GBPS:
+            return index
+    return None
+
+
+def trigger_ablation_table() -> Table:
+    """Adaptation lag after a rate change, per trigger model."""
+    table = Table(
+        title=("Ablation: trigger model vs shaping precision "
+               f"(rate limit {OLD_RATE_GBPS} -> {NEW_RATE_GBPS} Gbps at "
+               f"t={CHANGE_AT * 1e3:.1f} ms, {BACKLOG_PACKETS}-packet "
+               "backlog)"),
+        headers=["trigger", "windows_to_adapt",
+                 "rate_in_first_window_gbps", "rate_after_adapt_gbps"],
+    )
+    for trigger in (TriggerModel.OUTPUT, TriggerModel.INPUT):
+        rates = run_trigger_model(trigger)
+        lag = adaptation_lag_windows(rates)
+        table.add_row(trigger.value,
+                      lag if lag is not None else "never",
+                      round(rates[0], 2) if rates else "-",
+                      round(rates[lag], 2) if lag is not None else "-")
+    table.add_note("Output-triggered adapts in the first window (tokens "
+                   "evaluated at head-of-line time); input-triggered "
+                   "serves its stale-stamped backlog first — the "
+                   "Section 3.2.1 precision trade-off. One window = "
+                   f"{WINDOW * 1e6:.0f} us.")
+    return table

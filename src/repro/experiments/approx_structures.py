@@ -1,0 +1,95 @@
+"""Ablation: approximate datastructures vs exact PIEO (Section 2.3).
+
+Quantifies the paper's argument that calendar queues, timing wheels, and
+multi-priority FIFOs "could only express approximate versions of key
+packet scheduling algorithms, invariably resulting in weaker performance
+guarantees", and that their accuracy hinges on configuration parameters
+that "are not trivial to fine-tune".
+
+Workload: a random population of (rank, send_time) elements; every
+structure is drained with the same dequeue clock, and the resulting
+service order is compared against the exact PIEO order.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.analysis.deviation import kendall_tau_distance, max_deviation
+from repro.baselines.approximate import (CalendarQueue, MultiPriorityFifo,
+                                         TimingWheel)
+from repro.core.element import Element
+from repro.core.interfaces import PieoList
+from repro.core.reference import ReferencePieo
+from repro.experiments.runner import Table
+
+RANK_SPACE = 1_000.0
+TIME_SPACE = 100.0
+
+
+def _workload(size: int, seed: int) -> List[Element]:
+    rng = random.Random(seed)
+    return [Element(flow_id=index, rank=rng.uniform(0, RANK_SPACE),
+                    send_time=rng.uniform(0, TIME_SPACE))
+            for index in range(size)]
+
+
+def _service_order(structure: PieoList, elements: Sequence[Element],
+                   service_interval: float) -> List[int]:
+    """Drain ``structure`` at one element per ``service_interval``.
+
+    The finite service rate lets a backlog of simultaneously eligible
+    elements build up — the regime where rank ordering matters and
+    approximation error becomes visible.
+    """
+    for element in elements:
+        structure.enqueue(element.copy())
+    order: List[int] = []
+    now = 0.0
+    while len(structure):
+        served = structure.dequeue(now)
+        if served is None:
+            # Advance the clock: to the next eligibility instant when it
+            # is in the future, else by a small step (a head-of-line
+            # blocked structure can hide an already-eligible element).
+            candidate = structure.min_send_time()
+            now = candidate if candidate > now else now + TIME_SPACE / 100
+            continue
+        order.append(served.flow_id)
+        now += service_interval
+    return order
+
+
+def approx_structures_table(size: int = 200, seed: int = 5,
+                            bucket_counts: Sequence[int] = (4, 16, 64),
+                            ) -> Table:
+    """Order deviation of each approximate structure vs exact PIEO."""
+    elements = _workload(size, seed)
+    # Serve at ~half the mean eligibility rate so a backlog forms while
+    # elements are still being released.
+    service_interval = TIME_SPACE / size * 2
+    ideal = _service_order(ReferencePieo(), elements, service_interval)
+    table = Table(
+        title=(f"Approximate structures vs exact PIEO "
+               f"({size} elements, random ranks/send-times)"),
+        headers=["structure", "buckets", "max_deviation", "kendall_tau"],
+    )
+    table.add_row("pieo (exact)", "-", 0, 0.0)
+    candidates: List[tuple] = []
+    for buckets in bucket_counts:
+        candidates.append(("calendar_queue", buckets,
+                           CalendarQueue(buckets, RANK_SPACE / buckets)))
+        candidates.append(("timing_wheel", buckets,
+                           TimingWheel(buckets, TIME_SPACE / buckets)))
+        candidates.append(("multi_priority_fifo", buckets,
+                           MultiPriorityFifo(buckets,
+                                             RANK_SPACE / buckets)))
+    for name, buckets, structure in candidates:
+        order = _service_order(structure, elements, service_interval)
+        table.add_row(name, buckets, max_deviation(ideal, order),
+                      round(kendall_tau_distance(ideal, order), 4))
+    table.add_note("Deviation shrinks as bucket counts grow (the "
+                   "hard-to-tune parameter) but never reaches the exact "
+                   "order PIEO produces by construction.")
+    return table

@@ -1,0 +1,135 @@
+"""Terminal-friendly charts for the paper's figures.
+
+The paper's evaluation figures are line plots (resource/clock vs size)
+and enforcement plots (achieved vs configured rate).  This module renders
+the same series as dependency-free ASCII charts so ``python -m
+repro.experiments`` and the markdown report show the *shapes*, not just
+the numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+
+def ascii_chart(series: Dict[str, Sequence[float]],
+                x_labels: Sequence,
+                title: str = "",
+                height: int = 12,
+                y_label: str = "",
+                markers: str = "*o+x#@",
+                y_max: Optional[float] = None) -> str:
+    """Render one or more y-series over a shared categorical x axis.
+
+    Values beyond ``y_max`` (when given) are clipped to the top row,
+    which is how Fig. 8 shows PIFO shooting off the chart.
+    """
+    if not series:
+        return title
+    if height < 2:
+        raise ValueError("height must be >= 2")
+    names = list(series)
+    columns = len(x_labels)
+    for name in names:
+        if len(series[name]) != columns:
+            raise ValueError(
+                f"series {name!r} has {len(series[name])} points for "
+                f"{columns} x labels")
+    finite = [value for name in names for value in series[name]
+              if not math.isinf(value) and not math.isnan(value)]
+    top = y_max if y_max is not None else (max(finite) if finite else 1.0)
+    if top <= 0:
+        top = 1.0
+
+    grid = [[" "] * columns for _ in range(height)]
+    for index, name in enumerate(names):
+        marker = markers[index % len(markers)]
+        for column, value in enumerate(series[name]):
+            if math.isnan(value):
+                continue
+            clipped = min(value, top)
+            row = height - 1 - int(round(
+                (clipped / top) * (height - 1)))
+            cell = grid[row][column]
+            grid[row][column] = marker if cell == " " else "&"
+
+    width = max(len(str(label)) for label in x_labels) + 1
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    axis_width = 10
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = f"{_fmt_tick(top):>{axis_width}} |"
+        elif row_index == height - 1:
+            prefix = f"{_fmt_tick(0.0):>{axis_width}} |"
+        elif row_index == height // 2:
+            prefix = f"{_fmt_tick(top / 2):>{axis_width}} |"
+        else:
+            prefix = " " * axis_width + " |"
+        lines.append(prefix + "".join(
+            cell.center(width) for cell in row))
+    lines.append(" " * axis_width + " +" + "-" * (width * columns))
+    lines.append(" " * axis_width + "  " + "".join(
+        str(label).center(width) for label in x_labels))
+    legend = "   ".join(f"{markers[i % len(markers)]} = {name}"
+                        for i, name in enumerate(names))
+    if y_label:
+        legend = f"y: {y_label}   " + legend
+    lines.append(" " * axis_width + "  " + legend)
+    return "\n".join(lines)
+
+
+def _fmt_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if value >= 1000:
+        return f"{value / 1000:.3g}k"
+    return f"{value:.3g}"
+
+
+def fig8_chart() -> str:
+    """Fig. 8 as a chart: %ALMs vs size, PIEO vs PIFO (clipped at
+    100 %)."""
+    from repro.experiments.fig8_alms import DEFAULT_SIZES, alms_table
+    table = alms_table()
+    return ascii_chart(
+        {"pieo": table.column("pieo_alms_pct"),
+         "pifo": table.column("pifo_alms_pct")},
+        x_labels=[f"{round(size / 1000)}K" if size >= 1000 else size
+                  for size in DEFAULT_SIZES],
+        title="Fig. 8 (shape): % ALMs vs scheduler size (clipped at "
+              "100%)",
+        y_label="% ALMs",
+        y_max=100.0,
+    )
+
+
+def fig10_chart() -> str:
+    """Fig. 10 as a chart: clock rate vs size."""
+    from repro.experiments.fig10_clock import DEFAULT_SIZES, clock_table
+    table = clock_table()
+    return ascii_chart(
+        {"pieo": table.column("pieo_mhz"),
+         "pifo": table.column("pifo_mhz")},
+        x_labels=[f"{round(size / 1000)}K" if size >= 1000 else size
+                  for size in DEFAULT_SIZES],
+        title="Fig. 10 (shape): clock rate vs scheduler size",
+        y_label="MHz",
+    )
+
+
+def fig11_chart(duration: float = 0.01) -> str:
+    """Fig. 11 as a chart: achieved vs configured node rate."""
+    from repro.experiments.fig11_rate_limit import (DEFAULT_SWEEP_GBPS,
+                                                    rate_limit_table)
+    table = rate_limit_table(duration=duration)
+    return ascii_chart(
+        {"configured": table.column("configured_gbps"),
+         "achieved": table.column("achieved_gbps")},
+        x_labels=[f"{rate}G" for rate in DEFAULT_SWEEP_GBPS],
+        title="Fig. 11 (shape): achieved vs configured rate limit "
+              "(markers coincide: '&')",
+        y_label="Gbps",
+    )

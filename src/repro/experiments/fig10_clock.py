@@ -1,0 +1,42 @@
+"""Fig. 10: clock rate achieved by the scheduler circuit vs size.
+
+Paper anchors (Stratix V): PIEO runs at ~80 MHz at its largest evaluated
+size; the PIFO baseline clocked at 57 MHz (at 1 K, its maximum size).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.runner import Table
+from repro.hw.clock import pieo_clock_mhz, pifo_clock_mhz
+from repro.hw.device import STRATIX_V, Device
+from repro.hw.resources import max_capacity
+
+DEFAULT_SIZES = (1_024, 2_048, 4_096, 8_192, 16_384, 30_000, 32_768)
+
+PAPER_ANCHORS = {
+    ("pieo", 30_000): 80.0,  # "even at 80 MHz ..." (Section 6.2)
+    ("pifo", 1_024): 57.0,   # "PIFO's design ... clocked at 57 MHz"
+}
+
+
+def clock_table(sizes: Sequence[int] = DEFAULT_SIZES,
+                device: Device = STRATIX_V) -> Table:
+    """Fig. 10's series: achievable clock rate at each size."""
+    table = Table(
+        title=f"Fig. 10: scheduler clock rate on {device.name} (MHz)",
+        headers=["size", "pieo_mhz", "pifo_mhz", "pifo_synthesizable",
+                 "paper_anchor_mhz"],
+    )
+    pifo_limit = max_capacity("pifo", device)
+    for size in sizes:
+        anchor = PAPER_ANCHORS.get(("pieo", size),
+                                   PAPER_ANCHORS.get(("pifo", size), "-"))
+        table.add_row(size, round(pieo_clock_mhz(size, device), 1),
+                      round(pifo_clock_mhz(size, device), 1),
+                      size <= pifo_limit, anchor)
+    table.add_note("Clock rate falls with circuit complexity; PIFO rows "
+                   "beyond its fit limit are extrapolations (it cannot be "
+                   "synthesized there at all).")
+    return table

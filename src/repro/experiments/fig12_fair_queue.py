@@ -1,0 +1,64 @@
+"""Fig. 12: fair-queue enforcement within a level-2 node.
+
+"For each rate-limit value assigned to the chosen level-2 node, PIEO
+scheduler very accurately enforces fair queuing across all the flows
+within that level-2 node" — WF2Q+ at level 1 splits the node's Token
+Bucket rate equally (or by weight) across its ten flows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.fairness import jains_index
+from repro.experiments.fig11_rate_limit import SAMPLED_NODE
+from repro.experiments.hier_common import (FLOWS_PER_NODE,
+                                           default_node_rates,
+                                           run_hierarchy)
+from repro.experiments.runner import Table
+
+DEFAULT_SWEEP_GBPS = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+def fair_queue_table(sweep_gbps: Sequence[float] = DEFAULT_SWEEP_GBPS,
+                     duration: float = 0.02,
+                     node_index: int = SAMPLED_NODE,
+                     flow_weights: Optional[List[float]] = None) -> Table:
+    """Fig. 12's sweep: per-flow shares inside the sampled node."""
+    weighted = flow_weights is not None
+    table = Table(
+        title=(f"Fig. 12: fair-queue enforcement inside node "
+               f"n{node_index} (WF2Q+ at level 1"
+               f"{', weighted' if weighted else ''})"),
+        headers=["node_rate_gbps", "expected_per_flow_gbps",
+                 "min_flow_gbps", "max_flow_gbps", "jain_index"],
+    )
+    for target in sweep_gbps:
+        rates = default_node_rates()
+        rates[node_index] = target
+        run = run_hierarchy(rates, duration=duration,
+                            flow_weights=flow_weights)
+        flow_rates = [rate / 1e9 for flow_id, rate
+                      in sorted(run.flow_rates_bps.items())
+                      if flow_id.startswith(f"n{node_index}.")]
+        if weighted:
+            weights = [flow_weights[i % len(flow_weights)]
+                       for i in range(FLOWS_PER_NODE)]
+            normalized = [rate / weight
+                          for rate, weight in zip(flow_rates, weights)]
+            expected = target / sum(weights)
+            table.add_row(target, round(expected, 4),
+                          round(min(normalized), 4),
+                          round(max(normalized), 4),
+                          round(jains_index(normalized), 5))
+        else:
+            expected = target / FLOWS_PER_NODE
+            table.add_row(target, round(expected, 4),
+                          round(min(flow_rates), 4),
+                          round(max(flow_rates), 4),
+                          round(jains_index(flow_rates), 5))
+    table.add_note("Jain's index 1.0 = perfectly fair; min/max per-flow "
+                   "rates should bracket the expected equal share "
+                   "tightly." + (" Weighted rows normalize rate/weight."
+                                 if weighted else ""))
+    return table

@@ -1,0 +1,41 @@
+"""Fig. 8: percentage of logic modules (ALMs) consumed vs scheduler size.
+
+Paper anchors (Stratix V, 234 K ALMs): PIFO consumes 64 % at 1 K elements
+and scales linearly (2 K does not fit); PIEO grows as sqrt(N) and a 30 K
+PIEO fits easily.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.runner import Table
+from repro.hw.device import STRATIX_V, Device
+from repro.hw.resources import logic_report
+
+DEFAULT_SIZES = (1_024, 2_048, 4_096, 8_192, 16_384, 30_000, 32_768)
+
+#: The paper's stated values (Section 6.1).
+PAPER_ANCHORS = {
+    ("pifo", 1_024): 64.0,   # "64% of the available logic modules ... 1 K"
+}
+
+
+def alms_table(sizes: Sequence[int] = DEFAULT_SIZES,
+               device: Device = STRATIX_V) -> Table:
+    """Fig. 8's series: %ALMs for PIEO and PIFO at each size."""
+    table = Table(
+        title=f"Fig. 8: % ALMs consumed on {device.name} "
+              f"({device.alms // 1000} K ALMs)",
+        headers=["size", "pieo_alms_pct", "pifo_alms_pct", "pieo_fits",
+                 "pifo_fits", "paper_pifo_pct"],
+    )
+    for size in sizes:
+        report = logic_report(size, device)
+        anchor = PAPER_ANCHORS.get(("pifo", size), "-")
+        table.add_row(size, round(report.pieo_percent, 1),
+                      round(report.pifo_percent, 1), report.pieo_fits,
+                      report.pifo_fits, anchor)
+    table.add_note("PIFO grows linearly (cannot fit 2 K or more, matching "
+                   "the paper); PIEO grows as sqrt(N) and fits 30 K.")
+    return table

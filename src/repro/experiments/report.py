@@ -1,0 +1,53 @@
+"""Full-evaluation report generation.
+
+``python -m repro.experiments.report [output.md]`` runs every experiment
+and writes a single markdown document with all tables — the one-command
+regeneration of the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+import repro
+
+
+def write_report(stream: TextIO) -> int:
+    """Run every experiment and write the report; returns table count."""
+    from repro.experiments import all_tables
+
+    stream.write("# PIEO reproduction — full evaluation report\n\n")
+    stream.write(f"Library version {repro.__version__}.  Regenerate "
+                 "with `python -m repro.experiments.report`.\n")
+    tables = all_tables()
+    for table in tables:
+        stream.write(f"\n## {table.title}\n\n```\n")
+        stream.write(table.to_text())
+        stream.write("\n```\n")
+    from repro.experiments.charts import fig8_chart, fig10_chart
+    stream.write("\n## Figure shapes\n\n```\n")
+    stream.write(fig8_chart())
+    stream.write("\n\n")
+    stream.write(fig10_chart())
+    stream.write("\n```\n")
+    return len(tables)
+
+
+def main(argv) -> int:
+    """CLI entry point: write the report to argv[1] or stdout."""
+    path: Optional[str] = argv[1] if len(argv) > 1 else None
+    started = time.time()
+    if path is None:
+        count = write_report(sys.stdout)
+    else:
+        with open(path, "w") as stream:
+            count = write_report(stream)
+        print(f"wrote {count} tables to {path} in "
+              f"{time.time() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

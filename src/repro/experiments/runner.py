@@ -1,0 +1,65 @@
+"""Shared table formatting for the evaluation harness.
+
+Every experiment module produces a :class:`Table` whose rows mirror the
+series in the corresponding paper figure, plus (where the paper states
+numbers) a paper-anchor column, so EXPERIMENTS.md can record
+paper-vs-measured directly from benchmark output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+
+@dataclass
+class Table:
+    """A printable experiment result table."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, expected "
+                f"{len(self.headers)}")
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def to_text(self) -> str:
+        cells = [[_fmt(value) for value in row] for row in self.rows]
+        widths = [len(header) for header in self.headers]
+        for row in cells:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title]
+        lines.append("  ".join(
+            header.ljust(widths[index])
+            for index, header in enumerate(self.headers)))
+        lines.append("  ".join("-" * width for width in widths))
+        for row in cells:
+            lines.append("  ".join(
+                cell.ljust(widths[index])
+                for index, cell in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def column(self, header: str) -> List[Any]:
+        index = list(self.headers).index(header)
+        return [row[index] for row in self.rows]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (value != 0 and abs(value) < 0.001):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

@@ -1,0 +1,85 @@
+"""Datastructure comparison (Section 7): PIEO vs PIFO vs P-heap.
+
+The related-work argument, quantified on the cycle-accurate models: a
+heap gives O(log N) priority-queue operations with only O(log N)
+comparators, but the "Extract-Out" primitive degenerates to a search —
+its measured cost grows with both the list size and the fraction of
+ineligible elements, while PIEO stays at 4 cycles.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines.pheap import PHeap
+from repro.core.element import Element
+from repro.core.pieo import PieoHardwareList
+from repro.core.pifo import PifoDesignPieoList
+from repro.experiments.runner import Table
+
+
+def _populate(structure, size: int, ineligible_fraction: float,
+              rng: random.Random) -> None:
+    for index in range(size):
+        ineligible = rng.random() < ineligible_fraction
+        structure.enqueue(Element(
+            index, rank=rng.randint(0, 1 << 16),
+            send_time=(1 << 20) if ineligible else 0))
+
+
+def _extract_cost_cycles(structure, size: int, ineligible_fraction: float,
+                         operations: int, seed: int) -> float:
+    """Average cycles charged per eligible ``dequeue(now)``, measured by
+    bracketing each dequeue with the model's cycle counter."""
+    rng = random.Random(seed)
+    _populate(structure, size, ineligible_fraction, rng)
+    performed = 0
+    dequeue_cycles = 0
+    next_id = size
+    for _ in range(operations):
+        before = structure.counters.cycles
+        element = structure.dequeue(now=0)
+        dequeue_cycles += structure.counters.cycles - before
+        if element is None:
+            break
+        performed += 1
+        ineligible = rng.random() < ineligible_fraction
+        structure.enqueue(Element(
+            next_id, rank=rng.randint(0, 1 << 16),
+            send_time=(1 << 20) if ineligible else 0))
+        next_id += 1
+    if performed == 0:
+        return float("nan")
+    return dequeue_cycles / performed
+
+
+def structure_comparison_table(size: int = 1024,
+                               operations: int = 300,
+                               seed: int = 23) -> Table:
+    """Measured Extract-Out cycles per structure and eligibility mix."""
+    table = Table(
+        title=(f"Section 7: Extract-Out cost by datastructure "
+               f"(N = {size}, measured cycles per eligible dequeue)"),
+        headers=["structure", "eligible-only", "25%_ineligible",
+                 "75%_ineligible", "comparator_model"],
+    )
+    rows = [
+        ("pieo (sqrt-N design)",
+         lambda: PieoHardwareList(size), "O(sqrt N)"),
+        ("pifo-design pieo (flip-flops)",
+         lambda: PifoDesignPieoList(size), "O(N)"),
+        ("p-heap",
+         lambda: PHeap(size), "O(log N)"),
+    ]
+    for name, factory, comparators in rows:
+        cells = []
+        for fraction in (0.0, 0.25, 0.75):
+            cells.append(round(_extract_cost_cycles(
+                factory(), size, fraction, operations, seed), 1))
+        table.add_row(name, *cells, comparators)
+    table.add_note("PIEO and the PIFO-design variant extract in constant "
+                   "time regardless of eligibility mix; the heap's "
+                   "extract cost explodes as ineligible elements force "
+                   "it to search past its root — the Section 7 argument "
+                   "for an ordered list over a heap.")
+    return table

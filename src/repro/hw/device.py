@@ -1,0 +1,82 @@
+"""Target hardware device descriptions.
+
+The paper prototypes PIEO on an Altera Stratix V FPGA (Section 6): 234 K
+Adaptive Logic Modules (ALMs), 52 Mbit of SRAM organised as ~2500 dual-port
+blocks of 20 Kbit each (one-cycle access), and a 40 Gbps interface.  It
+also discusses scaling to newer FPGAs (Stratix 10) and ASICs (Section 6.2:
+PIFO clocks at 1 GHz on an ASIC, where a PIEO primitive op would take
+4 ns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Device:
+    """A synthesis target for the resource and clock models."""
+
+    name: str
+    #: Adaptive Logic Modules (or ASIC gate budget expressed in ALM
+    #: equivalents).
+    alms: int
+    #: Total on-chip SRAM, in bits.
+    sram_bits: int
+    #: Size of one SRAM block, in bits.
+    sram_block_bits: int
+    #: Maximum read/write port width of one SRAM block, in bits.
+    sram_block_width: int
+    #: Number of independent dual-port SRAM blocks.
+    sram_blocks: int
+    #: Interface bandwidth in Gbit/s.
+    interface_gbps: float
+    #: Peak clock rate of a trivially small circuit, in MHz.
+    base_clock_mhz: float
+
+    def alm_fraction(self, alms: float) -> float:
+        """Fraction of the device's logic consumed by ``alms`` modules."""
+        return alms / self.alms
+
+    def sram_fraction(self, bits: float) -> float:
+        return bits / self.sram_bits
+
+
+#: The paper's prototype device (Section 6; Intel/Altera Stratix V [17]).
+STRATIX_V = Device(
+    name="Stratix V",
+    alms=234_000,
+    sram_bits=52 * 1024 * 1024,
+    sram_block_bits=20 * 1024,
+    sram_block_width=40,
+    sram_blocks=2_500,
+    interface_gbps=40.0,
+    base_clock_mhz=187.0,
+)
+
+#: A newer FPGA generation ([18]); roughly 4x the logic and SRAM and a
+#: higher base clock.  Used for "more powerful FPGA" what-if experiments.
+STRATIX_10 = Device(
+    name="Stratix 10",
+    alms=933_000,
+    sram_bits=229 * 1024 * 1024,
+    sram_block_bits=20 * 1024,
+    sram_block_width=40,
+    sram_blocks=11_721,
+    interface_gbps=100.0,
+    base_clock_mhz=400.0,
+)
+
+#: An ASIC target (Section 6.2: "At 1 GHz clock rate, each primitive
+#: operation in PIEO would only take 4 ns").  Logic budget is nominal; the
+#: clock model returns a flat 1 GHz for this device.
+ASIC = Device(
+    name="ASIC (1 GHz)",
+    alms=10_000_000,
+    sram_bits=256 * 1024 * 1024,
+    sram_block_bits=20 * 1024,
+    sram_block_width=80,
+    sram_blocks=100_000,
+    interface_gbps=100.0,
+    base_clock_mhz=1_000.0,
+)

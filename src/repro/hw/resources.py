@@ -1,0 +1,125 @@
+"""Analytical logic-resource model for PIEO and PIFO (Fig. 8).
+
+The paper reports two hard calibration anchors for its Stratix V target:
+
+* the open-source PIFO implementation consumes **64 % of the 234 K ALMs at
+  1 K elements** and scales linearly, so a 2 K PIFO does not fit
+  (Section 6.1);
+* PIEO's logic grows **as the square root** of the list size and a 30 K
+  PIEO fits easily.
+
+We model logic in units of *lanes* — one lane is the comparator +
+flip-flop + shift-mux slice serving one element of a parallel array —
+and calibrate the per-lane ALM cost from the PIFO anchor:
+
+``ALMS_PER_LANE = 0.64 * 234_000 / 1_024 = 146.25 ALMs``.
+
+PIFO needs one lane per element (N lanes).  PIEO needs
+
+* ``2 * ceil(N / s)`` pointer-array lanes (wider entries: rank +
+  send_time + id + num, shiftable; weighted ``POINTER_LANE_WEIGHT``), plus
+* ``2 * s`` sublist lanes (the two sublists read each cycle),
+
+for ``s = ceil(sqrt(N))`` — O(sqrt(N)) total, which is the whole point of
+the design.  The model therefore reproduces the *shape* of Fig. 8 exactly
+and its absolute values through the single calibrated constant.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.pieo.hardware_list import default_sublist_size
+from repro.hw.device import STRATIX_V, Device
+
+#: Calibrated from the paper's PIFO anchor: 64% of Stratix V ALMs @ 1K.
+ALMS_PER_LANE = 0.64 * 234_000 / 1_024
+
+#: A pointer-array entry carries ~50 % more state than a PIFO element
+#: (sublist id, smallest_rank, smallest_send_time, num + shift network).
+POINTER_LANE_WEIGHT = 1.5
+
+#: Fixed control overhead (FSM, SRAM address logic) in ALMs.
+CONTROL_OVERHEAD_ALMS = 2_000.0
+
+
+def pieo_lanes(capacity: int, sublist_size: int = None) -> float:
+    """Parallel lanes used by a PIEO of ``capacity`` elements."""
+    size = (default_sublist_size(capacity)
+            if sublist_size is None else sublist_size)
+    num_sublists = 2 * math.ceil(capacity / size)
+    return POINTER_LANE_WEIGHT * num_sublists + 2 * size
+
+
+def pifo_lanes(capacity: int) -> float:
+    """Parallel lanes used by a PIFO of ``capacity`` elements."""
+    return float(capacity)
+
+
+def pieo_alms(capacity: int, sublist_size: int = None) -> float:
+    """Estimated ALMs for a PIEO scheduler of the given size."""
+    return (ALMS_PER_LANE * pieo_lanes(capacity, sublist_size)
+            + CONTROL_OVERHEAD_ALMS)
+
+
+def pifo_alms(capacity: int) -> float:
+    """Estimated ALMs for a PIFO scheduler of the given size."""
+    return ALMS_PER_LANE * pifo_lanes(capacity) + CONTROL_OVERHEAD_ALMS
+
+
+@dataclass(frozen=True)
+class LogicReport:
+    """One row of Fig. 8: logic consumption at a given scheduler size."""
+
+    capacity: int
+    pieo_alms: float
+    pifo_alms: float
+    pieo_percent: float
+    pifo_percent: float
+    pifo_fits: bool
+    pieo_fits: bool
+
+
+def logic_report(capacity: int, device: Device = STRATIX_V) -> LogicReport:
+    """Evaluate both designs at one size on ``device``."""
+    pieo = pieo_alms(capacity)
+    pifo = pifo_alms(capacity)
+    return LogicReport(
+        capacity=capacity,
+        pieo_alms=pieo,
+        pifo_alms=pifo,
+        pieo_percent=100.0 * device.alm_fraction(pieo),
+        pifo_percent=100.0 * device.alm_fraction(pifo),
+        pieo_fits=pieo <= device.alms,
+        pifo_fits=pifo <= device.alms,
+    )
+
+
+def max_capacity(design: str, device: Device = STRATIX_V) -> int:
+    """Largest scheduler size whose logic fits on ``device``.
+
+    ``design`` is ``"pieo"`` or ``"pifo"``.  Used for the "over 30x more
+    scalable" headline claim (Section 6.1).
+    """
+    alms_fn = {"pieo": pieo_alms, "pifo": pifo_alms}[design]
+    if alms_fn(1) > device.alms:
+        return 0
+    low, high = 1, 2
+    while alms_fn(high) <= device.alms:
+        low, high = high, high * 2
+    while low + 1 < high:
+        mid = (low + high) // 2
+        if alms_fn(mid) <= device.alms:
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def scalability_factor(device: Device = STRATIX_V) -> float:
+    """PIEO max size / PIFO max size on ``device``."""
+    pifo_max = max_capacity("pifo", device)
+    if pifo_max == 0:
+        return math.inf
+    return max_capacity("pieo", device) / pifo_max

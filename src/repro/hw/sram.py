@@ -1,0 +1,85 @@
+"""SRAM layout and consumption model for the PIEO ordered list (Fig. 9).
+
+Section 5.2 stores the ordered list as ``2 * ceil(N / s)`` sublists of
+``s = ceil(sqrt(N))`` elements.  Each Rank-Sublist entry carries a flow id,
+a rank, and a send_time; the Eligibility-Sublist keeps an ordered copy of
+the send_time values.  The paper uses 16-bit rank and predicate fields
+("We use 16-bit rank and predicate fields, same as in PIFO
+implementation", Section 6), and the factor-of-2 sublist over-provisioning
+is Invariant 1's price.
+
+To read a whole sublist in one clock cycle, its entries are striped across
+enough dual-port SRAM blocks to supply ``s * entry_bits`` in parallel;
+SRAM is therefore consumed in block granules.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.pieo.hardware_list import default_sublist_size
+from repro.hw.device import STRATIX_V, Device
+
+#: Field widths (bits), matching the paper's prototype.
+RANK_BITS = 16
+SEND_TIME_BITS = 16
+FLOW_ID_BITS = 16
+#: Rank-Sublist entry + Eligibility-Sublist copy of send_time.
+ENTRY_BITS = FLOW_ID_BITS + RANK_BITS + SEND_TIME_BITS + SEND_TIME_BITS
+
+
+@dataclass(frozen=True)
+class SramReport:
+    """One row of Fig. 9: SRAM consumption at a given scheduler size."""
+
+    capacity: int
+    sublist_size: int
+    num_sublists: int
+    raw_bits: int
+    blocks_required: int
+    allocated_bits: int
+    percent: float
+    fits: bool
+
+
+def sram_report(capacity: int, device: Device = STRATIX_V,
+                sublist_size: int = None,
+                entry_bits: int = ENTRY_BITS) -> SramReport:
+    """SRAM footprint of a PIEO of ``capacity`` elements on ``device``."""
+    size = (default_sublist_size(capacity)
+            if sublist_size is None else sublist_size)
+    num_sublists = 2 * math.ceil(capacity / size)
+    raw_bits = num_sublists * size * entry_bits
+    # Stripe one sublist row across enough blocks to read it in a cycle.
+    row_bits = size * entry_bits
+    blocks_for_row = math.ceil(row_bits / device.sram_block_width)
+    # Each block must be deep enough for every sublist's slice; a 20 Kbit
+    # block at width W holds block_bits / W rows.
+    rows_per_block = device.sram_block_bits // device.sram_block_width
+    block_sets = math.ceil(num_sublists / max(1, rows_per_block))
+    blocks_required = blocks_for_row * block_sets
+    allocated_bits = blocks_required * device.sram_block_bits
+    return SramReport(
+        capacity=capacity,
+        sublist_size=size,
+        num_sublists=num_sublists,
+        raw_bits=raw_bits,
+        blocks_required=blocks_required,
+        allocated_bits=allocated_bits,
+        percent=100.0 * device.sram_fraction(allocated_bits),
+        fits=(allocated_bits <= device.sram_bits
+              and blocks_required <= device.sram_blocks),
+    )
+
+
+def sram_overhead_factor(capacity: int) -> float:
+    """Invariant 1's provisioning overhead: allocated slots / N.
+
+    The paper bounds this at 2x ("to store N elements using sqrt(N)-sized
+    sublists, one would require at most 2 sqrt(N) sublists (2x SRAM
+    overhead)").
+    """
+    size = default_sublist_size(capacity)
+    num_sublists = 2 * math.ceil(capacity / size)
+    return num_sublists * size / capacity

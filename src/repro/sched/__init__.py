@@ -1,0 +1,65 @@
+"""The PIEO programming framework and the paper's scheduling algorithms.
+
+Section 4's catalogue, all expressed through the Pre-Enqueue /
+Post-Dequeue / alarm programming functions:
+
+* work conserving: DRR, WFQ, WF2Q+, SFQ (Section 4.1)
+* non-work conserving: Token Bucket, RCSP (Section 4.2)
+* hierarchical scheduling with logical PIEOs (Section 4.3)
+* asynchronous scheduling: priority aging, network feedback (Section 4.4)
+* priority scheduling: strict priority, SJF, SRTF, EDF, LSTF (Section 4.5)
+"""
+
+from repro.sched.base import SchedulingAlgorithm, TimeBase, TriggerModel
+from repro.sched.control import ControlPlane
+from repro.sched.drr import DeficitRoundRobin
+from repro.sched.feedback import PAUSE, RESUME, FeedbackChannel
+from repro.sched.framework import PieoScheduler, SchedulerContext
+from repro.sched.hierarchical import (HierarchicalScheduler, LogicalPieoView,
+                                      SchedNode, two_level_tree)
+from repro.sched.mlfq import MultiLevelFeedbackQueue
+from repro.sched.priority import (EarliestDeadlineFirst, LeastSlackTimeFirst,
+                                  ShortestJobFirst,
+                                  ShortestRemainingTimeFirst, StrictPriority)
+from repro.sched.rcsp import RateControlledStaticPriority, RateJitterRegulator
+from repro.sched.sfq import StochasticFairnessQueuing
+from repro.sched.starvation import (AgingStrictPriority,
+                                    install_aging_monitor, starving_flows)
+from repro.sched.tdma import TimeSlotted
+from repro.sched.token_bucket import TokenBucket
+from repro.sched.wf2q import WF2Qplus, WorstCaseFairWeightedFairQueuing
+from repro.sched.wfq import WeightedFairQueuing
+
+__all__ = [
+    "SchedulingAlgorithm",
+    "TimeBase",
+    "TriggerModel",
+    "ControlPlane",
+    "DeficitRoundRobin",
+    "PAUSE",
+    "RESUME",
+    "FeedbackChannel",
+    "PieoScheduler",
+    "SchedulerContext",
+    "HierarchicalScheduler",
+    "LogicalPieoView",
+    "SchedNode",
+    "two_level_tree",
+    "MultiLevelFeedbackQueue",
+    "EarliestDeadlineFirst",
+    "LeastSlackTimeFirst",
+    "ShortestJobFirst",
+    "ShortestRemainingTimeFirst",
+    "StrictPriority",
+    "RateControlledStaticPriority",
+    "RateJitterRegulator",
+    "StochasticFairnessQueuing",
+    "AgingStrictPriority",
+    "install_aging_monitor",
+    "starving_flows",
+    "TimeSlotted",
+    "TokenBucket",
+    "WF2Qplus",
+    "WorstCaseFairWeightedFairQueuing",
+    "WeightedFairQueuing",
+]

@@ -1,0 +1,101 @@
+"""Algorithm-facing abstractions of the PIEO programming framework.
+
+Section 3.2.1 defines three generic programming functions — *Pre-Enqueue*,
+*Post-Dequeue*, and the *alarm* function/handler — plus two trigger models
+(input-triggered and output-triggered).  A scheduling algorithm is written
+by overriding those functions; everything else (flow queues, the ordered
+list, trigger plumbing) is provided by
+:class:`repro.sched.framework.PieoScheduler`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Tuple
+
+from repro.core.element import ALWAYS_ELIGIBLE, Rank, Time
+from repro.sim.flow import FlowQueue
+from repro.sim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sched.framework import SchedulerContext
+
+
+class TriggerModel(enum.Enum):
+    """When the Pre-Enqueue function runs (Section 3.2.1)."""
+
+    #: Pre-Enqueue runs whenever a packet is enqueued into a flow queue;
+    #: rank/predicate are computed per packet, off the critical path.
+    INPUT = "input"
+    #: Pre-Enqueue runs whenever a packet is dequeued from a flow queue or
+    #: enqueued into an empty flow queue; more precise for shaping but on
+    #: the critical path of scheduling.
+    OUTPUT = "output"
+
+
+class TimeBase(enum.Enum):
+    """What notion of time eligibility predicates are evaluated against."""
+
+    #: Wall-clock time (non-work-conserving shaping: Token Bucket, RCSP).
+    WALL = "wall"
+    #: The algorithm's virtual time (WF2Q+ and friends).
+    VIRTUAL = "virtual"
+
+
+class SchedulingAlgorithm:
+    """Base class implementing the *default* programming functions.
+
+    The defaults are exactly the paper's (Section 3.2.1): every flow gets
+    rank 1 and an always-true predicate, Post-Dequeue transmits the head
+    packet and re-enqueues the flow if its queue is non-empty.  Subclasses
+    override what their policy needs.
+    """
+
+    #: Human-readable policy name (reports and benchmarks).
+    name = "default"
+
+    #: Time base for eligibility evaluation.
+    time_base = TimeBase.WALL
+
+    # ------------------------------------------------------------------
+    # Output-triggered programming functions
+    # ------------------------------------------------------------------
+    def pre_enqueue(self, ctx: "SchedulerContext", flow: FlowQueue) -> None:
+        """Assign ``flow`` a rank and predicate and push it into the
+        ordered list.  Default: rank 1, always eligible."""
+        ctx.enqueue(flow, rank=1, send_time=ALWAYS_ELIGIBLE)
+
+    def post_dequeue(self, ctx: "SchedulerContext", flow: FlowQueue) -> None:
+        """Consume the scheduling opportunity ``flow`` just won.
+
+        Default: transmit the head packet, then re-enqueue the flow if its
+        queue is still backlogged.
+        """
+        ctx.transmit_head(flow)
+        if not flow.is_empty:
+            ctx.reenqueue(flow)
+
+    # ------------------------------------------------------------------
+    # Input-triggered programming functions
+    # ------------------------------------------------------------------
+    def packet_attributes(self, ctx: "SchedulerContext", flow: FlowQueue,
+                          packet: Packet) -> Tuple[Rank, Time]:
+        """Input-triggered Pre-Enqueue: per-packet rank and send_time,
+        computed at packet arrival.  Default: (1, always eligible)."""
+        return 1, ALWAYS_ELIGIBLE
+
+    # ------------------------------------------------------------------
+    # Alarm function and handler (Section 4.4); disabled by default.
+    # ------------------------------------------------------------------
+    def alarm_handler(self, ctx: "SchedulerContext",
+                      flow: FlowQueue) -> None:
+        """Operate on a flow that the alarm function extracted."""
+
+    # ------------------------------------------------------------------
+    # Eligibility time base
+    # ------------------------------------------------------------------
+    def eligibility_time(self, ctx: "SchedulerContext") -> Time:
+        """The ``t_current`` fed to predicate evaluation at dequeue."""
+        if self.time_base is TimeBase.VIRTUAL:
+            return ctx.virtual_time
+        return ctx.now

@@ -1,0 +1,305 @@
+"""The PIEO scheduler: programming framework plumbing (Fig. 3).
+
+:class:`PieoScheduler` glues together the per-flow FIFO queues, the PIEO
+ordered list, and the programming functions of a
+:class:`repro.sched.base.SchedulingAlgorithm`:
+
+* the **input-triggered path**: packet arrivals run the Pre-Enqueue
+  function (per the selected trigger model) and may push the flow into
+  the ordered list;
+* the **output-triggered path**: whenever the link is idle the transmit
+  engine calls :meth:`PieoScheduler.schedule`, which performs
+  ``dequeue()`` on the ordered list (predicate evaluation + smallest
+  ranked eligible), then runs the Post-Dequeue function;
+* the **asynchronous path**: alarm functions can ``dequeue(f)`` a
+  specific flow, mutate its attributes, and re-enqueue it (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional
+
+from repro.core.element import ALWAYS_ELIGIBLE, Element, Rank, Time
+from repro.core.interfaces import PieoList
+from repro.core.reference import ReferencePieo
+from repro.errors import (ConfigurationError, SimulationError,
+                          UnknownFlowError)
+from repro.sched.base import SchedulingAlgorithm, TimeBase, TriggerModel
+from repro.sim.flow import FlowQueue
+from repro.sim.packet import Packet
+
+
+class SchedulerContext:
+    """The view of the scheduler that programming functions receive.
+
+    One context is created per trigger (arrival, scheduling decision, or
+    alarm); packets emitted through :meth:`transmit_head` are collected
+    for the transmit engine.
+    """
+
+    def __init__(self, scheduler: "PieoScheduler", now: Time,
+                 reason: str) -> None:
+        self._scheduler = scheduler
+        #: Wall-clock time of the trigger.
+        self.now = now
+        #: Why the programming function is running: "arrival", "requeue",
+        #: "dequeue", or "alarm".
+        self.reason = reason
+        #: Packets handed to the wire by this trigger, in order.
+        self.sent: List[Packet] = []
+        #: Set when a hierarchical child node was granted a slot but its
+        #: subtree had nothing eligible to send (non-work-conserving
+        #: inner policy).  Lets the scheduling loop stop retrying a node
+        #: that cannot make progress until time advances.
+        self.subtree_blocked = False
+
+    # -- global state -----------------------------------------------------
+    @property
+    def state(self) -> Dict[str, float]:
+        """Global scheduling state (Section 3.2: accessible by both the
+        control plane and the programming functions)."""
+        return self._scheduler.state
+
+    @property
+    def virtual_time(self) -> float:
+        return self._scheduler.state.get("virtual_time", 0.0)
+
+    @virtual_time.setter
+    def virtual_time(self, value: float) -> None:
+        self._scheduler.state["virtual_time"] = value
+
+    @property
+    def link_rate_bps(self) -> float:
+        return self._scheduler.link_rate_bps
+
+    @property
+    def flows(self) -> Dict[Hashable, FlowQueue]:
+        return self._scheduler.flows
+
+    def backlogged_flows(self) -> List[FlowQueue]:
+        """Flows with at least one queued packet (the set F of Fig. 2a)."""
+        return [flow for flow in self._scheduler.flows.values()
+                if not flow.is_empty]
+
+    # -- ordered-list operations -------------------------------------------
+    def enqueue(self, flow: FlowQueue, rank: Rank,
+                send_time: Time = ALWAYS_ELIGIBLE) -> None:
+        """ordered_list.enqueue(f) with the assigned attributes."""
+        self._scheduler._list_enqueue(flow, rank, send_time)
+
+    def reenqueue(self, flow: FlowQueue) -> None:
+        """Re-enqueue a still-backlogged flow after a dequeue, honouring
+        the configured trigger model (Section 3.2.1 defaults)."""
+        self._scheduler._reenqueue(self, flow)
+
+    def dequeue_specific(self, flow_id: Hashable) -> Optional[Element]:
+        """ordered_list.dequeue(f) — the asynchronous extract."""
+        return self._scheduler.ordered_list.dequeue_flow(flow_id)
+
+    # -- transmission -------------------------------------------------------
+    def transmit_head(self, flow: FlowQueue) -> Optional[Packet]:
+        """send(f.queue.head): pop the head packet and emit it.
+
+        When ``flow`` is a hierarchical class node
+        (:class:`repro.sched.hierarchical.SchedNode`), "transmitting its
+        head" means granting one scheduling slot downward: the node's own
+        policy picks the descendant packet(s).
+        """
+        schedule_subtree = getattr(flow, "schedule_subtree", None)
+        if schedule_subtree is not None:
+            packets = schedule_subtree(self.now)
+            self.sent.extend(packets)
+            if not packets:
+                self.subtree_blocked = True
+            return packets[-1] if packets else None
+        packet = flow.pop()
+        self.sent.append(packet)
+        return packet
+
+
+class PieoScheduler:
+    """A programmable packet scheduler built on the PIEO primitive.
+
+    Parameters
+    ----------
+    algorithm:
+        The scheduling policy (programming functions).
+    ordered_list:
+        Any :class:`repro.core.interfaces.PieoList`; defaults to a
+        software :class:`ReferencePieo`.  Pass a
+        :class:`repro.core.PieoHardwareList` to co-simulate the hardware
+        design, or a :class:`repro.core.PifoDesignPieoList` for the
+        footnote-7 variant.
+    trigger:
+        Input- or output-triggered Pre-Enqueue (Section 3.2.1).
+    link_rate_bps:
+        Rate of the attached link; fair-queuing algorithms need it for
+        virtual-time arithmetic.
+    """
+
+    def __init__(self, algorithm: SchedulingAlgorithm,
+                 ordered_list: Optional[PieoList] = None,
+                 trigger: TriggerModel = TriggerModel.OUTPUT,
+                 link_rate_bps: float = 40e9) -> None:
+        if link_rate_bps <= 0:
+            raise ConfigurationError("link_rate_bps must be positive")
+        self.algorithm = algorithm
+        self.ordered_list: PieoList = (
+            ReferencePieo() if ordered_list is None else ordered_list)
+        self.trigger = trigger
+        self.link_rate_bps = link_rate_bps
+        self.flows: Dict[Hashable, FlowQueue] = {}
+        #: Global scheduling state (virtual_time lives here).
+        self.state: Dict[str, float] = {}
+        #: Flows administratively paused by network feedback (Section 4.4).
+        self.blocked: Dict[Hashable, bool] = {}
+        #: Scheduling decisions taken (dequeue() calls that returned a flow).
+        self.decisions = 0
+
+    # ------------------------------------------------------------------
+    # Flow management
+    # ------------------------------------------------------------------
+    def add_flow(self, flow: FlowQueue) -> FlowQueue:
+        if flow.flow_id in self.flows:
+            raise ConfigurationError(f"flow {flow.flow_id!r} already added")
+        self.flows[flow.flow_id] = flow
+        return flow
+
+    def get_flow(self, flow_id: Hashable) -> FlowQueue:
+        try:
+            return self.flows[flow_id]
+        except KeyError:
+            raise UnknownFlowError(f"unknown flow {flow_id!r}") from None
+
+    # ------------------------------------------------------------------
+    # Input-triggered path: packet arrivals
+    # ------------------------------------------------------------------
+    def on_arrival(self, flow_id: Hashable, packet: Packet,
+                   now: Time) -> bool:
+        """A packet arrived; returns True if the flow just became
+        schedulable (useful as a transmit-engine kick hint)."""
+        flow = self.get_flow(flow_id)
+        ctx = SchedulerContext(self, now, reason="arrival")
+        if self.trigger is TriggerModel.INPUT:
+            rank, send_time = self.algorithm.packet_attributes(
+                ctx, flow, packet)
+            packet.rank = rank
+            packet.send_time = send_time
+            was_empty = flow.push(packet)
+            if was_empty and not self.blocked.get(flow_id):
+                self._list_enqueue(flow, packet.rank, packet.send_time)
+                return True
+            return False
+        # Output-triggered: Pre-Enqueue fires on enqueue into an *empty*
+        # flow queue (and on dequeue from a flow queue, handled in
+        # _reenqueue).
+        was_empty = flow.push(packet)
+        if was_empty and not self.blocked.get(flow_id):
+            self.algorithm.pre_enqueue(ctx, flow)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Output-triggered path: link idle
+    # ------------------------------------------------------------------
+    #: Safety bound on consecutive zero-output decisions (a decision can
+    #: legitimately transmit nothing — e.g. a DRR visit that only accrues
+    #: deficit — but unbounded streaks indicate a broken policy).
+    MAX_ZERO_OUTPUT_DECISIONS = 100_000
+
+    def schedule(self, now: Time) -> List[Packet]:
+        """One scheduling opportunity: extract the smallest ranked
+        eligible flow and run Post-Dequeue, repeating while decisions
+        legitimately produce no packet (e.g. DRR deficit accrual).
+        Returns the packets to transmit (empty when no flow is
+        eligible)."""
+        blocked_subtrees = set()
+        for _ in range(self.MAX_ZERO_OUTPUT_DECISIONS):
+            ctx = SchedulerContext(self, now, reason="dequeue")
+            eligibility_now = self.algorithm.eligibility_time(ctx)
+            element = self.ordered_list.dequeue(eligibility_now)
+            if element is None:
+                return []
+            if element.flow_id in blocked_subtrees:
+                # This child's subtree already proved unable to send at
+                # this instant; put the element back untouched and stop
+                # (only time or an arrival can unblock it).
+                self.ordered_list.enqueue(element)
+                return []
+            self.decisions += 1
+            flow = self.get_flow(element.flow_id)
+            self.algorithm.post_dequeue(ctx, flow)
+            if ctx.sent:
+                return ctx.sent
+            if ctx.subtree_blocked:
+                blocked_subtrees.add(element.flow_id)
+        raise SimulationError(
+            f"{self.MAX_ZERO_OUTPUT_DECISIONS} consecutive scheduling "
+            "decisions produced no packet; the policy is not making "
+            "progress")
+
+    def next_eligible_time(self, now: Time) -> Time:
+        """Earliest wall-clock instant at which a dequeue may newly
+        succeed, for transmit-engine retry timers.  ``inf`` means "only a
+        new arrival (or virtual-time advance) can help"."""
+        if self.algorithm.time_base is not TimeBase.WALL:
+            return float("inf")
+        return self.ordered_list.min_send_time()
+
+    # ------------------------------------------------------------------
+    # Asynchronous path (Section 4.4)
+    # ------------------------------------------------------------------
+    def run_alarm(self, flow_id: Hashable, now: Time,
+                  handler: Optional[Callable[[SchedulerContext, FlowQueue],
+                                             None]] = None) -> bool:
+        """Alarm function: ``dequeue(f)``, run the handler, which may
+        mutate attributes and re-enqueue.  Returns False if the flow was
+        not resident in the ordered list."""
+        flow = self.get_flow(flow_id)
+        element = self.ordered_list.dequeue_flow(flow_id)
+        if element is None:
+            return False
+        ctx = SchedulerContext(self, now, reason="alarm")
+        if handler is not None:
+            handler(ctx, flow)
+        else:
+            self.algorithm.alarm_handler(ctx, flow)
+        return True
+
+    def pause_flow(self, flow_id: Hashable, now: Time) -> None:
+        """Network-feedback quench (e.g. D3 pause, Section 4.4): block the
+        flow and extract it from the ordered list."""
+        self.get_flow(flow_id)
+        self.blocked[flow_id] = True
+        self.ordered_list.dequeue_flow(flow_id)
+
+    def resume_flow(self, flow_id: Hashable, now: Time) -> bool:
+        """Unblock a flow; re-enqueues it if backlogged.  Returns True if
+        the flow became schedulable again."""
+        flow = self.get_flow(flow_id)
+        self.blocked[flow_id] = False
+        if flow.is_empty or flow.flow_id in self.ordered_list:
+            return False
+        ctx = SchedulerContext(self, now, reason="arrival")
+        self.algorithm.pre_enqueue(ctx, flow)
+        return True
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _list_enqueue(self, flow: FlowQueue, rank: Rank,
+                      send_time: Time) -> None:
+        self.ordered_list.enqueue(Element(
+            flow_id=flow.flow_id, rank=rank, send_time=send_time,
+            group=flow.group, payload=flow))
+
+    def _reenqueue(self, ctx: SchedulerContext, flow: FlowQueue) -> None:
+        if self.blocked.get(flow.flow_id):
+            return
+        if self.trigger is TriggerModel.INPUT:
+            head = flow.head
+            self._list_enqueue(flow, head.rank, head.send_time)
+            return
+        requeue_ctx = SchedulerContext(self, ctx.now, reason="requeue")
+        requeue_ctx.sent = ctx.sent
+        self.algorithm.pre_enqueue(requeue_ctx, flow)

@@ -1,0 +1,94 @@
+"""Priority scheduling algorithms (Section 4.5).
+
+"One can easily emulate a priority queue using PIEO, by setting the rank
+of each element as equal to its priority value, and setting the
+eligibility predicate of each element as true."  This module expresses
+the paper's examples: strict priority, Shortest Job First, Shortest
+Remaining Time First, Earliest Deadline First, and Least Slack Time
+First.  Smaller rank always means served earlier.
+"""
+
+from __future__ import annotations
+
+from repro.core.element import ALWAYS_ELIGIBLE
+from repro.sched.base import SchedulingAlgorithm
+from repro.sched.framework import SchedulerContext
+from repro.sim.flow import FlowQueue
+
+
+class StrictPriority(SchedulingAlgorithm):
+    """Serve the lowest ``flow.priority`` value first; FIFO within a
+    priority level (PIEO's rank tie-break)."""
+
+    name = "strict-priority"
+
+    def pre_enqueue(self, ctx: SchedulerContext, flow: FlowQueue) -> None:
+        ctx.enqueue(flow, rank=flow.priority, send_time=ALWAYS_ELIGIBLE)
+
+
+class ShortestJobFirst(SchedulingAlgorithm):
+    """SJF [47]: rank = total backlog of the flow at enqueue time."""
+
+    name = "sjf"
+
+    def pre_enqueue(self, ctx: SchedulerContext, flow: FlowQueue) -> None:
+        ctx.enqueue(flow, rank=flow.backlog_bytes,
+                    send_time=ALWAYS_ELIGIBLE)
+
+
+class ShortestRemainingTimeFirst(SchedulingAlgorithm):
+    """SRTF [48]: like SJF but the rank is refreshed every time the flow
+    re-enters the ordered list, so it tracks *remaining* work.
+
+    Arrivals to an already-resident flow grow its backlog without moving
+    its rank; refresh it asynchronously with the Section 4.4 idiom —
+    ``scheduler.run_alarm(flow_id, now)`` extracts the flow and the alarm
+    handler re-enqueues it at its current remaining-bytes rank.
+    """
+
+    name = "srtf"
+
+    def pre_enqueue(self, ctx: SchedulerContext, flow: FlowQueue) -> None:
+        remaining = flow.backlog_bytes
+        flow.state["remaining_bytes"] = remaining
+        ctx.enqueue(flow, rank=remaining, send_time=ALWAYS_ELIGIBLE)
+
+    def alarm_handler(self, ctx: SchedulerContext, flow: FlowQueue) -> None:
+        self.pre_enqueue(ctx, flow)
+
+
+class EarliestDeadlineFirst(SchedulingAlgorithm):
+    """EDF [44]: rank = absolute deadline of the head packet.
+
+    Deadlines are ``arrival_time + flow.state["deadline_offset"]``
+    (a per-flow relative deadline, default 1.0 s).
+    """
+
+    name = "edf"
+
+    def pre_enqueue(self, ctx: SchedulerContext, flow: FlowQueue) -> None:
+        head = flow.head
+        offset = flow.state.get("deadline_offset", 1.0)
+        deadline = (head.arrival_time if head is not None else ctx.now)
+        deadline += offset
+        ctx.enqueue(flow, rank=deadline, send_time=ALWAYS_ELIGIBLE)
+
+
+class LeastSlackTimeFirst(SchedulingAlgorithm):
+    """LSTF [45], the near-universal algorithm of UPS [27].
+
+    Slack = deadline - now - remaining transmission time; the flow with
+    the least slack is served first.  Like UPS's LSTF, this is a priority
+    queue at heart, so PIEO expresses it directly.
+    """
+
+    name = "lstf"
+
+    def pre_enqueue(self, ctx: SchedulerContext, flow: FlowQueue) -> None:
+        head = flow.head
+        offset = flow.state.get("deadline_offset", 1.0)
+        deadline = (head.arrival_time if head is not None else ctx.now)
+        deadline += offset
+        remaining = flow.backlog_bytes * 8 / ctx.link_rate_bps
+        slack = deadline - ctx.now - remaining
+        ctx.enqueue(flow, rank=slack, send_time=ALWAYS_ELIGIBLE)

@@ -1,0 +1,65 @@
+"""Stochastic Fairness Queuing (Section 4.1; McKenney 1990).
+
+SFQ approximates fair queuing cheaply: flows are hashed into a fixed
+number of buckets and the buckets are served round-robin, so scheduling
+state is O(buckets) instead of O(flows).  Colliding flows share their
+bucket's bandwidth — the "stochastic" part.
+
+On PIEO: service opportunities are numbered ``round * num_buckets +
+bucket``.  Each bucket holds one slot per round; a flow entering the
+ordered list reserves its bucket's next free slot as its rank, so
+colliding flows occupy successive rounds of the same bucket and split its
+share.  All predicates are true (work conserving).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Hashable
+
+from repro.core.element import ALWAYS_ELIGIBLE
+from repro.sched.base import SchedulingAlgorithm
+from repro.sched.framework import SchedulerContext
+from repro.sim.flow import FlowQueue
+
+
+class StochasticFairnessQueuing(SchedulingAlgorithm):
+    """SFQ with ``num_buckets`` hash buckets."""
+
+    name = "sfq"
+
+    def __init__(self, num_buckets: int = 16, seed: int = 1) -> None:
+        if num_buckets < 1:
+            raise ValueError("need at least one bucket")
+        self.num_buckets = num_buckets
+        self.seed = seed
+        #: Next unreserved service round, per bucket.
+        self._bucket_round: Dict[int, int] = {}
+        #: Round of the most recently served slot (for idle-bucket rejoin).
+        self._current_round = 0
+
+    def bucket_of(self, flow_id: Hashable) -> int:
+        # Stable across processes (the built-in string hash is salted per
+        # interpreter run, which would make schedules irreproducible).
+        digest = zlib.crc32(repr((self.seed, flow_id)).encode("utf-8"))
+        return digest % self.num_buckets
+
+    def pre_enqueue(self, ctx: SchedulerContext, flow: FlowQueue) -> None:
+        bucket = self.bucket_of(flow.flow_id)
+        round_ = self._bucket_round.get(bucket, 0)
+        if round_ < self._current_round:
+            # The bucket was idle; rejoin the current round instead of
+            # claiming stale (unfairly early) service slots.
+            round_ = self._current_round
+        self._bucket_round[bucket] = round_ + 1
+        flow.state["sfq_round"] = round_
+        ctx.enqueue(flow, rank=round_ * self.num_buckets + bucket,
+                    send_time=ALWAYS_ELIGIBLE)
+
+    def post_dequeue(self, ctx: SchedulerContext, flow: FlowQueue) -> None:
+        served_round = int(flow.state.get("sfq_round", 0))
+        if served_round > self._current_round:
+            self._current_round = served_round
+        ctx.transmit_head(flow)
+        if not flow.is_empty:
+            ctx.reenqueue(flow)

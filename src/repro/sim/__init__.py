@@ -1,0 +1,36 @@
+"""Discrete-event network substrate: packets, flows, links, generators."""
+
+from repro.sim.engine import TransmitEngine
+from repro.sim.events import EventHandle, Simulator
+from repro.sim.flow import FlowQueue
+from repro.sim.generators import (BackloggedSource, CbrGenerator,
+                                  OnOffGenerator, PacketGenerator,
+                                  PoissonGenerator)
+from repro.sim.link import GBPS, Link, gbps
+from repro.sim.packet import MTU_BYTES, Packet
+from repro.sim.recorder import Departure, Recorder
+from repro.sim.trace import (departures_csv, save_trace, write_departures,
+                             write_flow_summary)
+
+__all__ = [
+    "TransmitEngine",
+    "EventHandle",
+    "Simulator",
+    "FlowQueue",
+    "BackloggedSource",
+    "CbrGenerator",
+    "OnOffGenerator",
+    "PacketGenerator",
+    "PoissonGenerator",
+    "GBPS",
+    "Link",
+    "gbps",
+    "MTU_BYTES",
+    "Packet",
+    "Departure",
+    "Recorder",
+    "departures_csv",
+    "save_trace",
+    "write_departures",
+    "write_flow_summary",
+]

@@ -1,0 +1,101 @@
+"""Minimal deterministic discrete-event simulator.
+
+Time is a float (seconds).  Events scheduled for the same instant fire in
+scheduling order, which keeps runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+EventCallback = Callable[[], None]
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; supports cancel."""
+
+    __slots__ = ("time", "cancelled")
+
+    def __init__(self, time: float) -> None:
+        self.time = time
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Simulator:
+    """Event loop with absolute-time scheduling."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, EventHandle, EventCallback]] = []
+        self._seq = itertools.count()
+        self.events_fired = 0
+
+    def schedule(self, time: float, callback: EventCallback) -> EventHandle:
+        """Run ``callback`` at absolute ``time`` (>= now)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before now={self.now}")
+        handle = EventHandle(time)
+        heapq.heappush(self._heap, (time, next(self._seq), handle, callback))
+        return handle
+
+    def schedule_in(self, delay: float,
+                    callback: EventCallback) -> EventHandle:
+        """Run ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule(self.now + delay, callback)
+
+    def peek_next_time(self) -> Optional[float]:
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> bool:
+        """Fire the next pending event; False when none remain."""
+        while self._heap:
+            time, _seq, handle, callback = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.now = time
+            self.events_fired += 1
+            callback()
+            return True
+        return False
+
+    def run_until(self, end_time: float,
+                  max_events: Optional[int] = None) -> None:
+        """Fire events until the queue drains or ``end_time`` is reached.
+
+        The clock is left at ``end_time`` (or at the last event if the
+        queue drained first and that is earlier).
+        """
+        fired = 0
+        while True:
+            next_time = self.peek_next_time()
+            if next_time is None or next_time > end_time:
+                break
+            self.step()
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} before t={end_time}; "
+                    "likely a scheduling livelock")
+        if self.now < end_time:
+            self.now = end_time
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        """Drain the event queue completely."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; likely a livelock")

@@ -1,0 +1,165 @@
+"""Traffic generators.
+
+The paper's prototype implements "packet generators, one per flow, on the
+FPGA to simulate the flows" (Section 6.3).  These are their software
+equivalents; each generator injects packets into a flow queue through a
+callback supplied by the transmit engine, so arrival handling (and the
+framework's pre-enqueue trigger) stays in one place.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Hashable, Optional
+
+from repro.sim.events import Simulator
+from repro.sim.packet import MTU_BYTES, Packet
+
+#: Signature used to hand a packet to the scheduler/engine.
+ArrivalSink = Callable[[Hashable, Packet], None]
+
+
+class PacketGenerator:
+    """Base class: generates packets for one flow until ``end_time``."""
+
+    def __init__(self, sim: Simulator, flow_id: Hashable, sink: ArrivalSink,
+                 size_bytes: int = MTU_BYTES,
+                 end_time: float = float("inf")) -> None:
+        self.sim = sim
+        self.flow_id = flow_id
+        self.sink = sink
+        self.size_bytes = size_bytes
+        self.end_time = end_time
+        self.packets_generated = 0
+
+    def start(self, at: Optional[float] = None) -> None:
+        self.sim.schedule(self.sim.now if at is None else at, self._fire)
+
+    def _fire(self) -> None:
+        if self.sim.now >= self.end_time:
+            return
+        self._emit()
+        delay = self.next_interarrival()
+        if delay is not None:
+            self.sim.schedule_in(delay, self._fire)
+
+    def _emit(self) -> None:
+        packet = Packet(flow_id=self.flow_id, size_bytes=self.size_bytes,
+                        arrival_time=self.sim.now)
+        self.packets_generated += 1
+        self.sink(self.flow_id, packet)
+
+    def next_interarrival(self) -> Optional[float]:
+        raise NotImplementedError
+
+
+class CbrGenerator(PacketGenerator):
+    """Constant-bit-rate arrivals at ``rate_bps``."""
+
+    def __init__(self, sim: Simulator, flow_id: Hashable, sink: ArrivalSink,
+                 rate_bps: float, size_bytes: int = MTU_BYTES,
+                 end_time: float = float("inf")) -> None:
+        super().__init__(sim, flow_id, sink, size_bytes, end_time)
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        self.rate_bps = rate_bps
+
+    def next_interarrival(self) -> float:
+        return self.size_bytes * 8 / self.rate_bps
+
+
+class PoissonGenerator(PacketGenerator):
+    """Poisson arrivals with mean rate ``rate_bps``."""
+
+    def __init__(self, sim: Simulator, flow_id: Hashable, sink: ArrivalSink,
+                 rate_bps: float, size_bytes: int = MTU_BYTES,
+                 end_time: float = float("inf"),
+                 rng: Optional[random.Random] = None) -> None:
+        super().__init__(sim, flow_id, sink, size_bytes, end_time)
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        self.rate_bps = rate_bps
+        self.rng = rng or random.Random(0)
+
+    def next_interarrival(self) -> float:
+        mean = self.size_bytes * 8 / self.rate_bps
+        return self.rng.expovariate(1.0 / mean)
+
+
+class OnOffGenerator(PacketGenerator):
+    """Bursty on/off traffic: CBR at ``peak_rate_bps`` during on-periods."""
+
+    def __init__(self, sim: Simulator, flow_id: Hashable, sink: ArrivalSink,
+                 peak_rate_bps: float, on_seconds: float, off_seconds: float,
+                 size_bytes: int = MTU_BYTES,
+                 end_time: float = float("inf"),
+                 rng: Optional[random.Random] = None) -> None:
+        super().__init__(sim, flow_id, sink, size_bytes, end_time)
+        if peak_rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        self.peak_rate_bps = peak_rate_bps
+        self.on_seconds = on_seconds
+        self.off_seconds = off_seconds
+        self.rng = rng or random.Random(0)
+        self._on_until = 0.0
+
+    def start(self, at: Optional[float] = None) -> None:
+        start_time = self.sim.now if at is None else at
+        self._on_until = start_time + self._draw(self.on_seconds)
+        super().start(at)
+
+    def _draw(self, mean: float) -> float:
+        return self.rng.expovariate(1.0 / mean) if mean > 0 else 0.0
+
+    def next_interarrival(self) -> float:
+        gap = self.size_bytes * 8 / self.peak_rate_bps
+        next_time = self.sim.now + gap
+        if next_time <= self._on_until:
+            return gap
+        off = self._draw(self.off_seconds)
+        self._on_until = next_time + off + self._draw(self.on_seconds)
+        return gap + off
+
+
+class BackloggedSource:
+    """Keeps a flow queue permanently backlogged at a target depth.
+
+    Models an infinitely backlogged flow (the standard fair-queuing
+    workload): whenever the engine reports a departure, the source tops
+    the queue back up.
+    """
+
+    def __init__(self, sim: Simulator, flow_id: Hashable, sink: ArrivalSink,
+                 depth: int = 4, size_bytes: int = MTU_BYTES,
+                 end_time: float = float("inf")) -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.sim = sim
+        self.flow_id = flow_id
+        self.sink = sink
+        self.depth = depth
+        self.size_bytes = size_bytes
+        self.end_time = end_time
+        self.packets_generated = 0
+        self._outstanding = 0
+
+    def start(self, at: Optional[float] = None) -> None:
+        start_time = self.sim.now if at is None else at
+        self.sim.schedule(start_time, self._prime)
+
+    def _prime(self) -> None:
+        for _ in range(self.depth):
+            self._emit()
+
+    def on_departure(self) -> None:
+        """Engine callback: one of this flow's packets left the wire."""
+        self._outstanding -= 1
+        if self.sim.now < self.end_time:
+            self._emit()
+
+    def _emit(self) -> None:
+        packet = Packet(flow_id=self.flow_id, size_bytes=self.size_bytes,
+                        arrival_time=self.sim.now)
+        self.packets_generated += 1
+        self._outstanding += 1
+        self.sink(self.flow_id, packet)

@@ -1,0 +1,57 @@
+"""Output-link model.
+
+Models the wire of Fig. 1: a fixed-rate serial link that is either idle or
+transmitting one packet.  The transmit engine asks the scheduler for the
+next packet exactly when the link goes idle ("triggered whenever the link
+is idle", Fig. 3).
+"""
+
+from __future__ import annotations
+
+from repro.sim.packet import Packet
+
+GBPS = 1e9
+
+
+class Link:
+    """A fixed-rate transmission link."""
+
+    def __init__(self, rate_bps: float) -> None:
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        self.rate_bps = rate_bps
+        self.busy_until = 0.0
+        self.bytes_sent = 0
+        self.packets_sent = 0
+        self.busy_time = 0.0
+
+    def transmission_time(self, packet: Packet) -> float:
+        """Serialization delay of ``packet`` in seconds."""
+        return packet.size_bits / self.rate_bps
+
+    def is_idle(self, now: float) -> bool:
+        return now >= self.busy_until
+
+    def transmit(self, packet: Packet, now: float) -> float:
+        """Start transmitting ``packet`` at ``now``; returns finish time."""
+        if not self.is_idle(now):
+            raise RuntimeError(
+                f"link busy until {self.busy_until}, cannot transmit at "
+                f"{now}")
+        duration = self.transmission_time(packet)
+        self.busy_until = now + duration
+        self.bytes_sent += packet.size_bytes
+        self.packets_sent += 1
+        self.busy_time += duration
+        return self.busy_until
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds the link spent transmitting."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+
+def gbps(value: float) -> float:
+    """Convenience: convert Gbit/s to bit/s."""
+    return value * GBPS

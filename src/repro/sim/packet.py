@@ -1,0 +1,44 @@
+"""Packet representation for the scheduling substrate."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+#: Standard Ethernet MTU payload size used throughout the evaluation
+#: ("we schedule at MTU granularity", Section 6.3).
+MTU_BYTES = 1500
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One packet resident in a flow queue.
+
+    ``rank`` and ``send_time`` are the per-packet scheduling attributes
+    used by the *input-triggered* programming model (Section 3.2.1), where
+    the Pre-Enqueue function runs at packet arrival and stores the
+    attributes on the packet; the flow element inherits them from the
+    queue head.  ``eligible_time`` carries externally-imposed per-packet
+    release times (RCSP, Section 4.2).
+    """
+
+    flow_id: Hashable
+    size_bytes: int = MTU_BYTES
+    arrival_time: float = 0.0
+    eligible_time: float = 0.0
+    rank: float = 0.0
+    send_time: float = 0.0
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    #: Filled in by the transmit engine.
+    departure_time: Optional[float] = None
+
+    @property
+    def size_bits(self) -> int:
+        return self.size_bytes * 8
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("packet size must be positive")

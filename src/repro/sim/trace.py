@@ -1,0 +1,69 @@
+"""Trace export: departures and per-flow summaries as CSV.
+
+Downstream users typically post-process schedules in pandas or gnuplot;
+this writes the recorder's contents in a stable, documented format.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Hashable, Optional, TextIO
+
+from repro.sim.recorder import Recorder
+
+DEPARTURE_FIELDS = ("time", "flow_id", "size_bytes", "packet_id")
+SUMMARY_FIELDS = ("flow_id", "packets", "bytes", "rate_bps",
+                  "first_departure", "last_departure")
+
+
+def write_departures(recorder: Recorder, stream: TextIO) -> int:
+    """Write one row per departure; returns the row count."""
+    writer = csv.writer(stream)
+    writer.writerow(DEPARTURE_FIELDS)
+    for departure in recorder.departures:
+        writer.writerow([repr(departure.time), departure.flow_id,
+                         departure.size_bytes, departure.packet_id])
+    return len(recorder.departures)
+
+
+def write_flow_summary(recorder: Recorder, stream: TextIO,
+                       start: float = 0.0,
+                       end: Optional[float] = None) -> int:
+    """Write one row per flow with totals and achieved rate over
+    ``[start, end)``; returns the row count."""
+    writer = csv.writer(stream)
+    writer.writerow(SUMMARY_FIELDS)
+    rates = recorder.rate_bps(start=start, end=end)
+    stats: Dict[Hashable, Dict[str, float]] = {}
+    for departure in recorder.departures:
+        entry = stats.setdefault(departure.flow_id, {
+            "packets": 0, "bytes": 0,
+            "first": departure.time, "last": departure.time})
+        entry["packets"] += 1
+        entry["bytes"] += departure.size_bytes
+        entry["first"] = min(entry["first"], departure.time)
+        entry["last"] = max(entry["last"], departure.time)
+    for flow_id in sorted(stats, key=str):
+        entry = stats[flow_id]
+        writer.writerow([flow_id, entry["packets"], entry["bytes"],
+                         repr(rates.get(flow_id, 0.0)),
+                         repr(entry["first"]), repr(entry["last"])])
+    return len(stats)
+
+
+def departures_csv(recorder: Recorder) -> str:
+    """The departures trace as a CSV string."""
+    buffer = io.StringIO()
+    write_departures(recorder, buffer)
+    return buffer.getvalue()
+
+
+def save_trace(recorder: Recorder, path: str,
+               summary_path: Optional[str] = None) -> None:
+    """Write the departures trace (and optionally a summary) to files."""
+    with open(path, "w", newline="") as stream:
+        write_departures(recorder, stream)
+    if summary_path is not None:
+        with open(summary_path, "w", newline="") as stream:
+            write_flow_summary(recorder, stream)

@@ -1,0 +1,68 @@
+"""Tests for fairness and deviation metrics."""
+
+import pytest
+
+from repro.analysis import (inversions, jains_index, kendall_tau_distance,
+                            max_deviation, max_relative_error,
+                            mean_deviation, normalized_shares,
+                            positionwise_deviation, weighted_jains_index)
+
+
+def test_jains_index_perfectly_fair():
+    assert jains_index([5, 5, 5, 5]) == pytest.approx(1.0)
+
+
+def test_jains_index_maximally_unfair():
+    assert jains_index([10, 0, 0, 0]) == pytest.approx(0.25)
+
+
+def test_jains_index_degenerate():
+    assert jains_index([]) == 1.0
+    assert jains_index([0, 0]) == 1.0
+
+
+def test_weighted_jains_index():
+    allocations = {"a": 1.0, "b": 2.0, "c": 3.0}
+    weights = {"a": 1.0, "b": 2.0, "c": 3.0}
+    assert weighted_jains_index(allocations, weights) == pytest.approx(1.0)
+    skewed = weighted_jains_index({"a": 3.0, "b": 2.0, "c": 1.0}, weights)
+    assert skewed < 1.0
+
+
+def test_max_relative_error():
+    achieved = {"a": 0.95, "b": 2.2}
+    target = {"a": 1.0, "b": 2.0}
+    assert max_relative_error(achieved, target) == pytest.approx(0.1)
+    assert max_relative_error({}, {"a": 1.0}) == 1.0
+    assert max_relative_error({"a": 1.0}, {"a": 0.0}) == 0.0
+
+
+def test_normalized_shares():
+    shares = normalized_shares({"a": 1.0, "b": 3.0})
+    assert shares == {"a": 0.25, "b": 0.75}
+    assert normalized_shares({"a": 0.0}) == {"a": 0.0}
+
+
+def test_positionwise_deviation():
+    assert positionwise_deviation("abc", "abc") == [0, 0, 0]
+    assert positionwise_deviation("abc", "cab") == [1, 1, 2]
+
+
+def test_deviation_requires_permutation():
+    with pytest.raises(ValueError):
+        positionwise_deviation(["a"], ["b"])
+
+
+def test_max_and_mean_deviation():
+    assert max_deviation("abcd", "dcba") == 3
+    assert mean_deviation("abcd", "dcba") == pytest.approx(2.0)
+    assert max_deviation([], []) == 0
+    assert mean_deviation([], []) == 0.0
+
+
+def test_inversions_and_kendall_tau():
+    assert inversions("abc", "abc") == 0
+    assert inversions("abc", "cba") == 3
+    assert kendall_tau_distance("abc", "cba") == pytest.approx(1.0)
+    assert kendall_tau_distance("abc", "abc") == 0.0
+    assert kendall_tau_distance("a", "a") == 0.0

@@ -1,0 +1,117 @@
+"""Tests for the approximate datastructures (Section 2.3)."""
+
+import math
+
+import pytest
+
+from repro.baselines.approximate import (CalendarQueue, MultiPriorityFifo,
+                                         TimingWheel)
+from repro.core.element import Element
+from repro.errors import ConfigurationError
+
+
+def test_calendar_queue_bucket_order():
+    calendar = CalendarQueue(num_buckets=4, bucket_width=10)
+    calendar.enqueue(Element("big", rank=35))
+    calendar.enqueue(Element("small", rank=5))
+    assert calendar.dequeue(now=0).flow_id == "small"
+    assert calendar.dequeue(now=0).flow_id == "big"
+
+
+def test_calendar_queue_loses_order_within_bucket():
+    """The approximation: FIFO within a bucket, not rank order."""
+    calendar = CalendarQueue(num_buckets=4, bucket_width=10)
+    calendar.enqueue(Element("later-but-first", rank=9))
+    calendar.enqueue(Element("smaller-but-second", rank=1))
+    assert calendar.dequeue(now=0).flow_id == "later-but-first"
+
+
+def test_calendar_queue_overflow_bucket():
+    calendar = CalendarQueue(num_buckets=2, bucket_width=10)
+    calendar.enqueue(Element("huge", rank=1e6))
+    assert calendar.bucket_index(Element("x", rank=1e6)) == 1
+    assert calendar.dequeue(now=0).flow_id == "huge"
+
+
+def test_calendar_queue_respects_eligibility():
+    calendar = CalendarQueue(num_buckets=4, bucket_width=10)
+    calendar.enqueue(Element("blocked", rank=1, send_time=100))
+    calendar.enqueue(Element("ready", rank=30, send_time=0))
+    assert calendar.dequeue(now=0).flow_id == "ready"
+    assert calendar.dequeue(now=0) is None
+
+
+def test_timing_wheel_slots_by_send_time():
+    wheel = TimingWheel(num_buckets=10, bucket_width=1.0)
+    wheel.enqueue(Element("soon", rank=99, send_time=0.5))
+    wheel.enqueue(Element("late", rank=1, send_time=5.5))
+    assert wheel.dequeue(now=10).flow_id == "soon"  # slot order, not rank
+    assert wheel.dequeue(now=10).flow_id == "late"
+
+
+def test_timing_wheel_infinite_send_time_goes_last():
+    wheel = TimingWheel(num_buckets=4, bucket_width=1.0)
+    wheel.enqueue(Element("never", rank=1, send_time=math.inf))
+    wheel.enqueue(Element("now", rank=2, send_time=0))
+    assert wheel.dequeue(now=0).flow_id == "now"
+    assert wheel.dequeue(now=0) is None
+
+
+def test_multi_priority_fifo_strict_levels():
+    fifo = MultiPriorityFifo(num_levels=4, level_width=10)
+    fifo.enqueue(Element("low", rank=35))
+    fifo.enqueue(Element("high", rank=5))
+    assert fifo.dequeue(now=0).flow_id == "high"
+    assert fifo.dequeue(now=0).flow_id == "low"
+
+
+def test_multi_priority_fifo_head_of_line_blocking():
+    """Only level heads are inspected: an ineligible head hides an
+    eligible element behind it."""
+    fifo = MultiPriorityFifo(num_levels=2, level_width=10)
+    fifo.enqueue(Element("blocked-head", rank=1, send_time=100))
+    fifo.enqueue(Element("ready-behind", rank=2, send_time=0))
+    assert fifo.dequeue(now=0) is None  # level 0 head ineligible
+    fifo.enqueue(Element("other-level", rank=15, send_time=0))
+    assert fifo.dequeue(now=0).flow_id == "other-level"
+
+
+def test_common_interface_operations():
+    for structure in (CalendarQueue(4, 10), TimingWheel(4, 10),
+                      MultiPriorityFifo(4, 10)):
+        structure.enqueue(Element("a", rank=1, send_time=2))
+        structure.enqueue(Element("b", rank=12, send_time=7))
+        assert len(structure) == 2
+        assert structure.min_send_time() == 2
+        assert structure.peek(now=10) is not None
+        assert structure.dequeue_flow("b").flow_id == "b"
+        assert structure.dequeue_flow("b") is None
+        assert len(structure) == 1
+        assert [e.flow_id for e in structure.snapshot()] == ["a"]
+
+
+def test_group_range_supported():
+    for structure in (CalendarQueue(4, 10), TimingWheel(4, 10)):
+        structure.enqueue(Element("g1", rank=1, group=1))
+        structure.enqueue(Element("g2", rank=2, group=2))
+        assert structure.dequeue(now=0, group_range=(2, 2)).flow_id == "g2"
+
+
+def test_multi_priority_fifo_group_blocks_at_head():
+    """Per-level FIFOs only expose heads, so a head outside the group
+    range blocks its level — unlike PIEO's arbitrary-subset extraction."""
+    fifo = MultiPriorityFifo(4, 10)
+    fifo.enqueue(Element("g1", rank=1, group=1))
+    fifo.enqueue(Element("g2", rank=2, group=2))  # same level, behind g1
+    assert fifo.dequeue(now=0, group_range=(2, 2)) is None
+    assert fifo.dequeue(now=0, group_range=(1, 1)).flow_id == "g1"
+    assert fifo.dequeue(now=0, group_range=(2, 2)).flow_id == "g2"
+
+
+def test_configuration_validation():
+    with pytest.raises(ConfigurationError):
+        CalendarQueue(0, 10)
+    with pytest.raises(ConfigurationError):
+        TimingWheel(4, 0)
+    with pytest.raises(ConfigurationError):
+        MultiPriorityFifo(0, 10)

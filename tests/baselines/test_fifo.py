@@ -1,0 +1,34 @@
+"""Tests for the FIFO baseline scheduler."""
+
+import math
+
+from repro.baselines.fifo import FifoScheduler
+from repro.sim.packet import Packet
+
+
+def test_fifo_serves_in_arrival_order():
+    fifo = FifoScheduler()
+    fifo.on_arrival("b", Packet("b"), 0.0)
+    fifo.on_arrival("a", Packet("a"), 1.0)
+    fifo.on_arrival("b", Packet("b"), 2.0)
+    order = []
+    while True:
+        packets = fifo.schedule(0.0)
+        if not packets:
+            break
+        order.extend(p.flow_id for p in packets)
+    assert order == ["b", "a", "b"]
+
+
+def test_fifo_cannot_reorder_or_shape():
+    """The expressiveness limitation: arrival order is the only order."""
+    fifo = FifoScheduler()
+    fifo.on_arrival("low-priority", Packet("low-priority"), 0.0)
+    fifo.on_arrival("high-priority", Packet("high-priority"), 0.0)
+    assert fifo.schedule(0.0)[0].flow_id == "low-priority"
+
+
+def test_fifo_empty_schedule():
+    fifo = FifoScheduler()
+    assert fifo.schedule(0.0) == []
+    assert math.isinf(fifo.next_eligible_time(0.0))

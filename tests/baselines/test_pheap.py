@@ -1,0 +1,97 @@
+"""P-heap-specific tests: heap cycle model and the Section 7 argument
+(Extract-Out cost grows with ineligible population; PIEO's does not)."""
+
+import math
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.baselines.pheap import PHeap
+from repro.core.element import Element
+from repro.core.reference import ReferencePieo
+
+
+def test_dequeue_min_ignores_eligibility():
+    heap = PHeap(16)
+    heap.enqueue(Element("blocked", rank=1, send_time=math.inf))
+    heap.enqueue(Element("ready", rank=2, send_time=0))
+    assert heap.dequeue_min().flow_id == "blocked"
+
+
+def test_enqueue_cost_is_logarithmic():
+    heap = PHeap(1024)
+    for index in range(1023):
+        heap.enqueue(Element(index, rank=index))
+    cycles = heap.counters.cycles
+    heap.enqueue(Element("last", rank=0))
+    # 1024 elements -> ceil(log2(1025)) = 11 levels touched.
+    assert heap.counters.cycles - cycles == 11
+
+
+def test_eligible_extract_from_root_is_cheap():
+    heap = PHeap(64)
+    for index in range(63):
+        heap.enqueue(Element(index, rank=index, send_time=0))
+    before = heap.counters.cycles
+    served = heap.dequeue(now=0)
+    assert served.flow_id == 0
+    # 1 visit + trickle-down levels.
+    assert heap.counters.cycles - before <= 1 + heap.levels() + 1
+
+
+def test_extract_cost_grows_with_ineligible_prefix():
+    """The paper's point: ineligible small-rank elements force the heap
+    search deep; PIEO's pointer-array summary skips them in one cycle."""
+    def extract_cost(ineligible):
+        heap = PHeap(256)
+        for index in range(ineligible):
+            heap.enqueue(Element(("blocked", index), rank=index,
+                                 send_time=math.inf))
+        heap.enqueue(Element("target", rank=10_000, send_time=0))
+        before = heap.counters.cycles
+        assert heap.dequeue(now=0).flow_id == "target"
+        return heap.counters.cycles - before
+
+    costs = [extract_cost(n) for n in (0, 16, 64, 255)]
+    assert costs == sorted(costs)
+    assert costs[-1] > 20 * costs[0]
+
+
+def test_heap_property_maintained(rng):
+    heap = PHeap(128)
+    for index in range(128):
+        heap.enqueue(Element(index, rank=rng.randint(0, 50)))
+    heap.check()
+    for _ in range(60):
+        heap.dequeue(now=0)
+        heap.check()
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 12),
+                          st.sampled_from([0, 5, 9, float("inf")])),
+                max_size=40),
+       st.integers(0, 10))
+def test_pheap_extract_matches_oracle(pairs, now):
+    heap = PHeap(64)
+    oracle = ReferencePieo(64)
+    for index, (rank, send_time) in enumerate(pairs):
+        heap.enqueue(Element(index, rank=rank, send_time=send_time))
+        oracle.enqueue(Element(index, rank=rank, send_time=send_time))
+    while True:
+        ours = heap.dequeue(now)
+        expected = oracle.dequeue(now)
+        assert (ours is None) == (expected is None)
+        if ours is None:
+            break
+        assert ours.flow_id == expected.flow_id
+
+
+def test_dequeue_flow_positional_search():
+    heap = PHeap(32)
+    for index in range(20):
+        heap.enqueue(Element(index, rank=index))
+    assert heap.dequeue_flow(13).flow_id == 13
+    assert heap.dequeue_flow(13) is None
+    heap.check()

@@ -1,0 +1,97 @@
+"""Tests for the Fig. 2 PIFO-emulation study."""
+
+import random
+
+import pytest
+
+from repro.baselines.pifo_wf2q import (HeadPacket, ideal_wf2q_order,
+                                       order_deviation, paper_example,
+                                       single_pifo_order, two_pifo_order)
+from repro.experiments.fig2_expressiveness import (pieo_order,
+                                                   random_workload)
+
+
+def test_paper_example_ideal_order():
+    """Ideal WF2Q+: A first (only A/B eligible, A finishes first); C's
+    small finish wins as soon as it becomes eligible."""
+    order = ideal_wf2q_order(paper_example())
+    assert order == ["A", "C", "B", "D", "E", "F"]
+
+
+def test_pieo_matches_ideal_on_example():
+    packets = paper_example()
+    assert pieo_order(packets) == ideal_wf2q_order(packets)
+
+
+def test_single_pifo_finish_serves_ineligible_early():
+    packets = paper_example()
+    order = single_pifo_order(packets, "finish_time")
+    # C is served first despite being ineligible until t=5.
+    assert order[0] == "C"
+    assert order != ideal_wf2q_order(packets)
+
+
+def test_single_pifo_start_violates_finish_order():
+    packets = paper_example()
+    order = single_pifo_order(packets, "start_time")
+    # D (start 4) is served before C (start 5, smaller finish).
+    assert order.index("D") < order.index("C")
+
+
+def test_two_pifo_reproduces_paper_inversion():
+    """Fig. 2e: D is released to the rank PIFO before C, so D is
+    scheduled before C even though C has the smaller finish time."""
+    packets = paper_example()
+    order = two_pifo_order(packets)
+    assert order.index("D") < order.index("C")
+    ideal = ideal_wf2q_order(packets)
+    assert ideal.index("C") < ideal.index("D")
+
+
+def test_all_emulations_are_permutations():
+    packets = paper_example()
+    expected = sorted(p.name for p in packets)
+    for order in (ideal_wf2q_order(packets),
+                  single_pifo_order(packets, "finish_time"),
+                  single_pifo_order(packets, "start_time"),
+                  two_pifo_order(packets)):
+        assert sorted(order) == expected
+
+
+def test_order_deviation_metric():
+    assert order_deviation(["a", "b", "c"], ["a", "b", "c"]) == (0, 0.0)
+    maximum, mean = order_deviation(["a", "b", "c"], ["c", "b", "a"])
+    assert maximum == 2
+    assert mean == pytest.approx(4 / 3)
+
+
+def test_ideal_order_idles_until_eligibility():
+    packets = [
+        HeadPacket("late", length=1, start_time=100, finish_time=101),
+        HeadPacket("later", length=1, start_time=200, finish_time=201),
+    ]
+    assert ideal_wf2q_order(packets) == ["late", "later"]
+
+
+def test_two_pifo_deviation_grows_with_n():
+    """The O(N) deviation claim of Section 2.3."""
+    rng = random.Random(42)
+    worst = {}
+    for size in (16, 128):
+        packets = random_workload(size, rng)
+        ideal = ideal_wf2q_order(packets)
+        worst[size] = order_deviation(ideal, two_pifo_order(packets))[0]
+    assert worst[128] > worst[16]
+    assert worst[128] > 128 / 4  # deviation is a constant fraction of N
+
+
+def test_pieo_matches_ideal_on_random_workloads():
+    rng = random.Random(1)
+    for _ in range(10):
+        packets = random_workload(50, rng)
+        assert pieo_order(packets) == ideal_wf2q_order(packets)
+
+
+def test_single_pifo_invalid_key():
+    with pytest.raises(ValueError):
+        single_pifo_order(paper_example(), "length")

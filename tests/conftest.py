@@ -1,0 +1,43 @@
+"""Shared fixtures for the PIEO reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.pheap import PHeap
+from repro.core.pieo import PieoHardwareList
+from repro.core.pifo import PifoDesignPieoList
+from repro.core.reference import ReferencePieo
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+def _reference(capacity):
+    return ReferencePieo(capacity)
+
+
+def _hardware(capacity):
+    return PieoHardwareList(capacity, self_check=True)
+
+
+def _pifo_design(capacity):
+    return PifoDesignPieoList(capacity)
+
+
+def _pheap(capacity):
+    return PHeap(capacity)
+
+
+@pytest.fixture(params=[_reference, _hardware, _pifo_design, _pheap],
+                ids=["reference", "hardware", "pifo-design", "p-heap"])
+def pieo_factory(request):
+    """Every PIEO-semantics implementation, for interface-level tests.
+
+    The P-heap is included because its *semantics* match PIEO exactly —
+    only its Extract-Out cost differs (Section 7)."""
+    return request.param

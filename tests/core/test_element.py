@@ -1,0 +1,79 @@
+"""Unit tests for the Element type."""
+
+import math
+
+import pytest
+
+from repro.core.element import (ALWAYS_ELIGIBLE, NEVER_ELIGIBLE, Element)
+
+
+def test_defaults_are_always_eligible():
+    element = Element(flow_id="f", rank=3)
+    assert element.send_time == ALWAYS_ELIGIBLE
+    assert element.is_eligible(now=0)
+    assert element.is_eligible(now=1e12)
+
+
+def test_never_eligible_encoding():
+    element = Element(flow_id="f", rank=3, send_time=NEVER_ELIGIBLE)
+    assert not element.is_eligible(now=0)
+    assert not element.is_eligible(now=1e30)
+
+
+def test_eligibility_threshold_is_inclusive():
+    element = Element(flow_id="f", rank=1, send_time=10)
+    assert not element.is_eligible(now=9.999)
+    assert element.is_eligible(now=10)
+    assert element.is_eligible(now=10.001)
+
+
+def test_group_range_filtering():
+    element = Element(flow_id="f", rank=1, group=5)
+    assert element.is_eligible(now=0, group_range=(5, 5))
+    assert element.is_eligible(now=0, group_range=(0, 9))
+    assert not element.is_eligible(now=0, group_range=(6, 9))
+    assert not element.is_eligible(now=0, group_range=(0, 4))
+
+
+def test_group_range_and_time_must_both_hold():
+    element = Element(flow_id="f", rank=1, send_time=10, group=2)
+    assert not element.is_eligible(now=5, group_range=(2, 2))
+    assert not element.is_eligible(now=15, group_range=(3, 4))
+    assert element.is_eligible(now=15, group_range=(2, 2))
+
+
+def test_sort_key_orders_by_rank_then_arrival():
+    early = Element(flow_id="a", rank=5)
+    early.seq = 1
+    late = Element(flow_id="b", rank=5)
+    late.seq = 2
+    smaller = Element(flow_id="c", rank=4)
+    smaller.seq = 3
+    assert smaller.sort_key() < early.sort_key() < late.sort_key()
+
+
+def test_nan_rank_rejected():
+    with pytest.raises(ValueError):
+        Element(flow_id="f", rank=math.nan)
+
+
+def test_nan_send_time_rejected():
+    with pytest.raises(ValueError):
+        Element(flow_id="f", rank=1, send_time=math.nan)
+
+
+def test_copy_is_independent_but_shares_payload():
+    payload = {"k": 1}
+    element = Element(flow_id="f", rank=2, send_time=3, group=4,
+                      payload=payload)
+    element.seq = 9
+    clone = element.copy()
+    assert clone == element
+    assert clone.seq == 9
+    assert clone.payload is payload
+    clone.rank = 99
+    assert element.rank == 2
+
+
+def test_float_and_int_ranks_compare():
+    assert Element("a", rank=1.5).rank < Element("b", rank=2).rank

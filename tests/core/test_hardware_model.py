@@ -1,0 +1,254 @@
+"""Hardware-model-specific tests: cycle accounting, SRAM port usage,
+sublist mechanics, and the Fig. 6 / Fig. 7 worked-example behaviours."""
+
+import math
+
+import pytest
+
+from repro.core.element import Element
+from repro.core.pieo import (CYCLES_PER_OP, PieoHardwareList,
+                             default_sublist_size)
+from repro.errors import InvariantViolation
+
+
+def fill(pieo, count, rank_of=lambda i: i, send_of=lambda i: 0):
+    for index in range(count):
+        pieo.enqueue(Element(index, rank=rank_of(index),
+                             send_time=send_of(index)))
+
+
+# ---------------------------------------------------------------------
+# Geometry
+# ---------------------------------------------------------------------
+def test_default_sublist_size_is_ceil_sqrt():
+    assert default_sublist_size(16) == 4
+    assert default_sublist_size(17) == 5
+    assert default_sublist_size(1024) == 32
+    assert default_sublist_size(1) == 1
+    assert default_sublist_size(30000) == 174
+
+
+def test_number_of_sublists_is_twice_ceil_n_over_s():
+    pieo = PieoHardwareList(16)
+    assert pieo.sublist_size == 4
+    assert pieo.num_sublists == 8
+    pieo = PieoHardwareList(30000)
+    assert pieo.num_sublists == 2 * math.ceil(30000 / 174)
+
+
+def test_custom_sublist_size():
+    pieo = PieoHardwareList(64, sublist_size=8)
+    assert pieo.num_sublists == 16
+    fill(pieo, 64)
+    assert len(pieo) == 64
+
+
+# ---------------------------------------------------------------------
+# Cycle accounting (Section 5.2: every primitive op takes 4 cycles)
+# ---------------------------------------------------------------------
+def test_enqueue_charges_four_cycles():
+    pieo = PieoHardwareList(16)
+    pieo.enqueue(Element("a", rank=1))
+    assert pieo.counters.cycles == CYCLES_PER_OP
+    assert pieo.counters.ops == {"enqueue": 1}
+
+
+def test_dequeue_charges_four_cycles():
+    pieo = PieoHardwareList(16)
+    pieo.enqueue(Element("a", rank=1))
+    pieo.counters.reset()
+    pieo.dequeue(now=0)
+    assert pieo.counters.cycles == CYCLES_PER_OP
+    assert pieo.counters.ops == {"dequeue": 1}
+
+
+def test_dequeue_flow_charges_four_cycles():
+    pieo = PieoHardwareList(16)
+    pieo.enqueue(Element("a", rank=1))
+    pieo.counters.reset()
+    pieo.dequeue_flow("a")
+    assert pieo.counters.cycles == CYCLES_PER_OP
+    assert pieo.counters.ops == {"dequeue_flow": 1}
+
+
+def test_null_dequeue_is_cheap():
+    pieo = PieoHardwareList(16)
+    pieo.dequeue(now=0)
+    pieo.dequeue_flow("ghost")
+    assert pieo.counters.ops == {"dequeue_null": 1, "dequeue_flow_null": 1}
+    assert pieo.counters.cycles == 2
+
+
+def test_mixed_traffic_averages_four_cycles(rng):
+    pieo = PieoHardwareList(256)
+    operations = 0
+    for step in range(2000):
+        if len(pieo) < 256 and (not len(pieo) or rng.random() < 0.5):
+            pieo.enqueue(Element(f"f{step}", rank=rng.randint(0, 100)))
+            operations += 1
+        else:
+            if pieo.dequeue(now=1) is not None:
+                operations += 1
+    nulls = pieo.counters.ops.get("dequeue_null", 0)
+    assert pieo.counters.cycles == operations * CYCLES_PER_OP + nulls
+
+
+# ---------------------------------------------------------------------
+# SRAM port usage: at most two sublists touched per op (dual-port SRAM)
+# ---------------------------------------------------------------------
+def test_enqueue_reads_at_most_two_sublists(rng):
+    pieo = PieoHardwareList(64, self_check=True)
+    for index in range(64):
+        pieo.enqueue(Element(index, rank=rng.randint(0, 50)))
+        assert len(pieo.last_trace.sublists_read) <= 2
+        assert len(pieo.last_trace.sublists_written) <= 2
+        assert set(pieo.last_trace.sublists_written) == set(
+            pieo.last_trace.sublists_read)
+
+
+def test_dequeue_reads_at_most_two_sublists(rng):
+    pieo = PieoHardwareList(64, self_check=True)
+    for index in range(64):
+        pieo.enqueue(Element(index, rank=rng.randint(0, 50)))
+    while len(pieo):
+        pieo.dequeue(now=0)
+        assert len(pieo.last_trace.sublists_read) <= 2
+
+
+# ---------------------------------------------------------------------
+# Fig. 6 worked-example behaviours (enqueue)
+# ---------------------------------------------------------------------
+def test_enqueue_into_empty_list_uses_fresh_sublist():
+    pieo = PieoHardwareList(16, self_check=True)
+    pieo.enqueue(Element("a", rank=5))
+    assert pieo.last_trace.used_fresh_sublist
+    assert pieo.pointer_array.num_nonempty == 1
+
+
+def test_enqueue_selects_sublist_by_rank_comparison():
+    """Cycle 1: parallel compare smallest_rank > f.rank, select j-1."""
+    pieo = PieoHardwareList(16, self_check=True)
+    fill(pieo, 8, rank_of=lambda i: i * 10)   # two full sublists
+    first = pieo.pointer_array.entries[0].sublist_id
+    pieo.enqueue(Element("mid", rank=15))
+    # rank 15 belongs in the first sublist (ranks 0,10,20,30).
+    assert pieo.last_trace.selected_sublist == first
+
+
+def test_enqueue_full_sublist_spills_tail_to_right_neighbor():
+    pieo = PieoHardwareList(16, self_check=True)
+    fill(pieo, 5, rank_of=lambda i: i * 10)   # sublist0 full, sublist1 has 1
+    trace_before = [entry.num for entry in
+                    pieo.pointer_array.nonempty_entries()]
+    assert trace_before == [4, 1]
+    pieo.enqueue(Element("early", rank=5))
+    trace = pieo.last_trace
+    assert trace.neighbor_sublist is not None
+    assert not trace.used_fresh_sublist
+    assert trace.moved_flow == 3  # rank 30, the old tail of sublist 0
+    snapshot = [element.rank for element in pieo.snapshot()]
+    assert snapshot == sorted(snapshot)
+
+
+def test_enqueue_full_sublists_inserts_fresh_between():
+    """Fig. 6: both S and its right neighbour full -> a fresh empty
+    sublist is shifted to the immediate right of S."""
+    pieo = PieoHardwareList(16, self_check=True)
+    fill(pieo, 8, rank_of=lambda i: i * 10)   # two full sublists
+    assert [entry.num for entry in
+            pieo.pointer_array.nonempty_entries()] == [4, 4]
+    pieo.enqueue(Element("wedge", rank=15))
+    trace = pieo.last_trace
+    assert trace.used_fresh_sublist
+    nonempty = pieo.pointer_array.nonempty_entries()
+    assert [entry.num for entry in nonempty] == [4, 1, 4]
+    assert nonempty[1].sublist_id == trace.neighbor_sublist
+    ranks = [element.rank for element in pieo.snapshot()]
+    assert ranks == sorted(ranks)
+
+
+def test_enqueue_rank_larger_than_everything_goes_to_tail():
+    pieo = PieoHardwareList(16, self_check=True)
+    fill(pieo, 6, rank_of=lambda i: i)
+    pieo.enqueue(Element("tail", rank=999))
+    assert pieo.snapshot()[-1].flow_id == "tail"
+
+
+def test_enqueue_rank_smaller_than_everything_goes_to_head():
+    pieo = PieoHardwareList(16, self_check=True)
+    fill(pieo, 6, rank_of=lambda i: i + 10)
+    pieo.enqueue(Element("head", rank=-1))
+    assert pieo.snapshot()[0].flow_id == "head"
+
+
+# ---------------------------------------------------------------------
+# Fig. 7 worked-example behaviours (dequeue)
+# ---------------------------------------------------------------------
+def test_dequeue_selects_first_sublist_with_eligible_summary():
+    pieo = PieoHardwareList(16, self_check=True)
+    # Sublist 0 ranks 0..3 all ineligible; sublist 1 ranks 40.. eligible.
+    fill(pieo, 4, rank_of=lambda i: i, send_of=lambda i: 100)
+    for index in range(4, 8):
+        pieo.enqueue(Element(index, rank=index * 10, send_time=0))
+    served = pieo.dequeue(now=6)
+    assert served.flow_id == 4
+    assert pieo.last_trace.selected_sublist is not None
+
+
+def test_dequeue_from_full_sublist_steals_from_neighbor():
+    """Fig. 7 cycle 2-3: a full S borrows an element from a non-full
+    neighbour so Invariant 1 survives."""
+    pieo = PieoHardwareList(16, self_check=True)
+    fill(pieo, 5, rank_of=lambda i: i * 10)   # [4 full, 1 partial]
+    served = pieo.dequeue(now=0)
+    assert served.flow_id == 0
+    trace = pieo.last_trace
+    assert trace.moved_flow == 4   # head of the right neighbour moved in
+    assert [entry.num for entry in
+            pieo.pointer_array.nonempty_entries()] == [4]
+
+
+def test_dequeue_emptied_sublist_parks_in_empty_partition():
+    pieo = PieoHardwareList(16, self_check=True)
+    pieo.enqueue(Element("only", rank=1))
+    assert pieo.pointer_array.num_nonempty == 1
+    pieo.dequeue(now=0)
+    assert pieo.pointer_array.num_nonempty == 0
+    assert len(pieo) == 0
+
+
+def test_dequeue_without_nonfull_neighbor_leaves_partial():
+    pieo = PieoHardwareList(16, self_check=True)
+    fill(pieo, 8, rank_of=lambda i: i)   # two full sublists
+    pieo.dequeue(now=0)
+    nums = [entry.num for entry in pieo.pointer_array.nonempty_entries()]
+    assert nums == [3, 4]
+
+
+# ---------------------------------------------------------------------
+# Invariants & diagnostics
+# ---------------------------------------------------------------------
+def test_check_detects_corruption():
+    pieo = PieoHardwareList(16)
+    fill(pieo, 8, rank_of=lambda i: i)
+    # Corrupt the pointer array deliberately.
+    pieo.pointer_array.entries[0].num += 1
+    with pytest.raises(InvariantViolation):
+        pieo.check()
+
+
+def test_flow_map_tracks_migrations(rng):
+    pieo = PieoHardwareList(64, self_check=True)
+    for index in range(64):
+        pieo.enqueue(Element(index, rank=rng.randint(0, 30)))
+    # dequeue(f) must find every flow even after spills/steals moved it.
+    for index in rng.sample(range(64), 20):
+        assert pieo.dequeue_flow(index).flow_id == index
+
+
+def test_capacity_one_list():
+    pieo = PieoHardwareList(1, self_check=True)
+    pieo.enqueue(Element("a", rank=1))
+    assert pieo.dequeue(now=0).flow_id == "a"
+    pieo.enqueue(Element("b", rank=1))
+    assert pieo.dequeue_flow("b").flow_id == "b"

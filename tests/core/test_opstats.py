@@ -1,0 +1,45 @@
+"""Tests for the operation counters."""
+
+from repro.core.opstats import OpCounters
+
+
+def test_charge_op_accumulates():
+    counters = OpCounters()
+    counters.charge_op("enqueue", 4)
+    counters.charge_op("enqueue", 4)
+    counters.charge_op("dequeue", 5)
+    assert counters.cycles == 13
+    assert counters.ops == {"enqueue": 2, "dequeue": 1}
+    assert counters.total_ops() == 3
+
+
+def test_charges_by_kind():
+    counters = OpCounters()
+    counters.charge_compare(16)
+    counters.charge_compare(4)
+    counters.charge_encode()
+    counters.charge_sram_read(2)
+    counters.charge_sram_write()
+    assert counters.comparator_activations == 20
+    assert counters.encoder_activations == 1
+    assert counters.sram_sublist_reads == 2
+    assert counters.sram_sublist_writes == 1
+
+
+def test_reset():
+    counters = OpCounters()
+    counters.charge_op("x", 4)
+    counters.charge_compare(3)
+    counters.reset()
+    assert counters.cycles == 0
+    assert counters.total_ops() == 0
+    assert counters.comparator_activations == 0
+
+
+def test_snapshot_contains_ops():
+    counters = OpCounters()
+    counters.charge_op("enqueue", 4)
+    view = counters.snapshot()
+    assert view["cycles"] == 4
+    assert view["op:enqueue"] == 1
+    assert view["total_ops"] == 1

@@ -1,0 +1,175 @@
+"""PIEO primitive semantics (Section 3.1), run against every
+implementation: reference oracle, cycle-accurate hardware model, and the
+footnote-7 PIFO-design variant."""
+
+import math
+
+import pytest
+
+from repro.core.element import Element
+from repro.errors import CapacityError, DuplicateFlowError
+
+
+def make(factory, capacity=16):
+    return factory(capacity)
+
+
+def test_dequeue_returns_smallest_ranked_eligible(pieo_factory):
+    pieo = make(pieo_factory)
+    pieo.enqueue(Element("low-rank-late", rank=1, send_time=100))
+    pieo.enqueue(Element("mid-rank-now", rank=5, send_time=0))
+    pieo.enqueue(Element("high-rank-now", rank=9, send_time=0))
+    served = pieo.dequeue(now=10)
+    assert served.flow_id == "mid-rank-now"
+
+
+def test_dequeue_null_when_no_eligible(pieo_factory):
+    pieo = make(pieo_factory)
+    pieo.enqueue(Element("a", rank=1, send_time=50))
+    assert pieo.dequeue(now=49) is None
+    assert len(pieo) == 1
+
+
+def test_dequeue_empty_returns_null(pieo_factory):
+    pieo = make(pieo_factory)
+    assert pieo.dequeue(now=0) is None
+
+
+def test_fifo_tie_break_on_equal_ranks(pieo_factory):
+    pieo = make(pieo_factory)
+    for name in ("first", "second", "third"):
+        pieo.enqueue(Element(name, rank=7))
+    assert pieo.dequeue(now=0).flow_id == "first"
+    assert pieo.dequeue(now=0).flow_id == "second"
+    assert pieo.dequeue(now=0).flow_id == "third"
+
+
+def test_rank_order_with_interleaved_eligibility(pieo_factory):
+    pieo = make(pieo_factory)
+    pieo.enqueue(Element("a", rank=1, send_time=30))
+    pieo.enqueue(Element("b", rank=2, send_time=10))
+    pieo.enqueue(Element("c", rank=3, send_time=0))
+    # At t=5 only c is eligible; at t=15 b beats c; at t=35 a beats all.
+    assert pieo.dequeue(now=5).flow_id == "c"
+    pieo.enqueue(Element("c", rank=3, send_time=0))
+    assert pieo.dequeue(now=15).flow_id == "b"
+    assert pieo.dequeue(now=35).flow_id == "a"
+    assert pieo.dequeue(now=35).flow_id == "c"
+
+
+def test_dequeue_specific_flow(pieo_factory):
+    pieo = make(pieo_factory)
+    pieo.enqueue(Element("a", rank=1))
+    pieo.enqueue(Element("b", rank=2))
+    pieo.enqueue(Element("c", rank=3))
+    extracted = pieo.dequeue_flow("b")
+    assert extracted.flow_id == "b"
+    assert [e.flow_id for e in pieo.snapshot()] == ["a", "c"]
+
+
+def test_dequeue_specific_missing_returns_null(pieo_factory):
+    pieo = make(pieo_factory)
+    pieo.enqueue(Element("a", rank=1))
+    assert pieo.dequeue_flow("ghost") is None
+    assert len(pieo) == 1
+
+
+def test_dequeue_specific_ignores_eligibility(pieo_factory):
+    """dequeue(f) is the asynchronous extract: it must work even for an
+    ineligible element (Section 4.4 priority aging relies on this)."""
+    pieo = make(pieo_factory)
+    pieo.enqueue(Element("a", rank=1, send_time=math.inf))
+    assert pieo.dequeue_flow("a").flow_id == "a"
+
+
+def test_duplicate_flow_rejected(pieo_factory):
+    pieo = make(pieo_factory)
+    pieo.enqueue(Element("a", rank=1))
+    with pytest.raises(DuplicateFlowError):
+        pieo.enqueue(Element("a", rank=2))
+
+
+def test_capacity_enforced(pieo_factory):
+    pieo = make(pieo_factory, capacity=4)
+    for index in range(4):
+        pieo.enqueue(Element(index, rank=index))
+    with pytest.raises(CapacityError):
+        pieo.enqueue(Element("overflow", rank=0))
+
+
+def test_reenqueue_after_dequeue_allows_same_flow(pieo_factory):
+    pieo = make(pieo_factory)
+    pieo.enqueue(Element("a", rank=1))
+    pieo.dequeue(now=0)
+    pieo.enqueue(Element("a", rank=2))
+    assert "a" in pieo
+
+
+def test_snapshot_sorted_by_rank(pieo_factory, rng):
+    pieo = make(pieo_factory, capacity=64)
+    for index in range(50):
+        pieo.enqueue(Element(index, rank=rng.randint(0, 20)))
+    ranks = [element.rank for element in pieo.snapshot()]
+    assert ranks == sorted(ranks)
+
+
+def test_min_send_time(pieo_factory):
+    pieo = make(pieo_factory)
+    assert math.isinf(pieo.min_send_time())
+    pieo.enqueue(Element("a", rank=1, send_time=30))
+    pieo.enqueue(Element("b", rank=2, send_time=12))
+    assert pieo.min_send_time() == 12
+    pieo.dequeue(now=12)
+    assert pieo.min_send_time() == 30
+
+
+def test_peek_is_nondestructive(pieo_factory):
+    pieo = make(pieo_factory)
+    pieo.enqueue(Element("a", rank=4, send_time=0))
+    pieo.enqueue(Element("b", rank=2, send_time=100))
+    peeked = pieo.peek(now=0)
+    assert peeked.flow_id == "a"
+    assert len(pieo) == 2
+    assert pieo.dequeue(now=0).flow_id == "a"
+
+
+def test_group_range_extraction(pieo_factory):
+    """The logical-PIEO extraction predicate (Section 4.3)."""
+    pieo = make(pieo_factory)
+    pieo.enqueue(Element("g0-a", rank=1, group=0))
+    pieo.enqueue(Element("g1-a", rank=2, group=1))
+    pieo.enqueue(Element("g1-b", rank=3, group=1))
+    pieo.enqueue(Element("g2-a", rank=4, group=2))
+    assert pieo.dequeue(now=0, group_range=(1, 1)).flow_id == "g1-a"
+    assert pieo.dequeue(now=0, group_range=(1, 1)).flow_id == "g1-b"
+    assert pieo.dequeue(now=0, group_range=(1, 1)) is None
+    assert pieo.dequeue(now=0, group_range=(0, 2)).flow_id == "g0-a"
+
+
+def test_group_range_respects_time_eligibility(pieo_factory):
+    pieo = make(pieo_factory)
+    pieo.enqueue(Element("early", rank=1, send_time=50, group=3))
+    pieo.enqueue(Element("late", rank=9, send_time=0, group=3))
+    assert pieo.dequeue(now=10, group_range=(3, 3)).flow_id == "late"
+    assert pieo.dequeue(now=10, group_range=(3, 3)) is None
+    assert pieo.dequeue(now=60, group_range=(3, 3)).flow_id == "early"
+
+
+def test_negative_and_float_ranks(pieo_factory):
+    pieo = make(pieo_factory)
+    pieo.enqueue(Element("zero", rank=0.0))
+    pieo.enqueue(Element("neg", rank=-3.5))
+    pieo.enqueue(Element("pos", rank=2.25))
+    assert pieo.dequeue(now=0).flow_id == "neg"
+    assert pieo.dequeue(now=0).flow_id == "zero"
+    assert pieo.dequeue(now=0).flow_id == "pos"
+
+
+def test_contains_and_len(pieo_factory):
+    pieo = make(pieo_factory)
+    assert not pieo
+    pieo.enqueue(Element("a", rank=1))
+    assert "a" in pieo
+    assert "b" not in pieo
+    assert len(pieo) == 1
+    assert pieo

@@ -1,0 +1,108 @@
+"""Tests for the PIFO baseline model and its footnote-7 PIEO variant."""
+
+import pytest
+
+from repro.core.element import Element
+from repro.core.pifo import (PIFO_CYCLES_PER_OP, PifoDesignPieoList,
+                             PifoHardwareList)
+from repro.errors import CapacityError, DuplicateFlowError
+
+
+def test_pifo_dequeues_from_head_only():
+    pifo = PifoHardwareList(8)
+    pifo.enqueue(Element("late", rank=9))
+    pifo.enqueue(Element("early", rank=1))
+    assert pifo.dequeue().flow_id == "early"
+    assert pifo.dequeue().flow_id == "late"
+    assert pifo.dequeue() is None
+
+
+def test_pifo_ignores_eligibility():
+    """The PIFO limitation: rank order only, no predicate filtering."""
+    pifo = PifoHardwareList(8)
+    pifo.enqueue(Element("ineligible", rank=1, send_time=float("inf")))
+    pifo.enqueue(Element("eligible", rank=2, send_time=0))
+    assert pifo.dequeue().flow_id == "ineligible"
+
+
+def test_pifo_fifo_tie_break():
+    pifo = PifoHardwareList(8)
+    for name in ("x", "y", "z"):
+        pifo.enqueue(Element(name, rank=4))
+    assert [pifo.dequeue().flow_id for _ in range(3)] == ["x", "y", "z"]
+
+
+def test_pifo_single_cycle_ops():
+    pifo = PifoHardwareList(8)
+    pifo.enqueue(Element("a", rank=1))
+    pifo.dequeue()
+    assert pifo.counters.cycles == 2 * PIFO_CYCLES_PER_OP
+    assert pifo.counters.ops == {"enqueue": 1, "dequeue": 1}
+
+
+def test_pifo_comparator_cost_scales_with_occupancy():
+    """O(N) comparators: every resident element compares on enqueue."""
+    pifo = PifoHardwareList(64)
+    for index in range(50):
+        pifo.enqueue(Element(index, rank=index))
+    # Total comparator activations = 0 + 1 + ... + 49.
+    assert pifo.counters.comparator_activations == sum(range(50))
+
+
+def test_pifo_capacity_and_duplicates():
+    pifo = PifoHardwareList(2)
+    pifo.enqueue(Element("a", rank=1))
+    with pytest.raises(DuplicateFlowError):
+        pifo.enqueue(Element("a", rank=2))
+    pifo.enqueue(Element("b", rank=1))
+    with pytest.raises(CapacityError):
+        pifo.enqueue(Element("c", rank=1))
+
+
+def test_pifo_peek():
+    pifo = PifoHardwareList(4)
+    assert pifo.peek() is None
+    pifo.enqueue(Element("a", rank=1))
+    assert pifo.peek().flow_id == "a"
+    assert len(pifo) == 1
+
+
+def test_pifo_dequeue_flow():
+    pifo = PifoHardwareList(4)
+    pifo.enqueue(Element("a", rank=1))
+    pifo.enqueue(Element("b", rank=2))
+    assert pifo.dequeue_flow("b").flow_id == "b"
+    assert pifo.dequeue_flow("b") is None
+
+
+def test_pifo_design_pieo_respects_eligibility():
+    variant = PifoDesignPieoList(8)
+    variant.enqueue(Element("blocked", rank=1, send_time=100))
+    variant.enqueue(Element("ready", rank=2, send_time=0))
+    assert variant.dequeue(now=5).flow_id == "ready"
+    assert variant.dequeue(now=5) is None
+    assert variant.dequeue(now=100).flow_id == "blocked"
+
+
+def test_pifo_design_pieo_single_cycle():
+    """Footnote 7: PIEO on PIFO's design keeps the 1-cycle ops (the
+    predicates evaluate in parallel in flip-flops)."""
+    variant = PifoDesignPieoList(8)
+    variant.enqueue(Element("a", rank=1))
+    variant.dequeue(now=0)
+    assert variant.counters.cycles == 2 * PIFO_CYCLES_PER_OP
+
+
+def test_pifo_design_pieo_group_filtering():
+    variant = PifoDesignPieoList(8)
+    variant.enqueue(Element("g1", rank=1, group=1))
+    variant.enqueue(Element("g2", rank=2, group=2))
+    assert variant.dequeue(now=0, group_range=(2, 2)).flow_id == "g2"
+
+
+def test_pifo_design_min_send_time_and_peek():
+    variant = PifoDesignPieoList(8)
+    assert variant.peek(now=0) is None
+    variant.enqueue(Element("a", rank=1, send_time=7))
+    assert variant.min_send_time() == 7
+    assert variant.peek(now=7).flow_id == "a"

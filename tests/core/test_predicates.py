@@ -1,0 +1,54 @@
+"""Unit tests for predicate encodings."""
+
+import math
+
+import pytest
+
+from repro.core.predicates import (AlwaysFalse, AlwaysTrue,
+                                   GroupRangePredicate, TimePredicate,
+                                   encode_send_time, is_never)
+
+
+def test_time_predicate_threshold():
+    predicate = TimePredicate(send_time=42)
+    assert not predicate(41.9)
+    assert predicate(42)
+    assert predicate(100)
+    assert predicate.encode() == 42
+
+
+def test_always_true_encodes_to_zero():
+    assert AlwaysTrue().encode() == 0
+    assert AlwaysTrue()(0)
+
+
+def test_always_false_encodes_to_infinity():
+    predicate = AlwaysFalse()
+    assert math.isinf(predicate.encode())
+    assert not predicate(1e30)
+
+
+def test_group_range_predicate():
+    predicate = GroupRangePredicate(2, 5)
+    assert not predicate(1)
+    assert predicate(2)
+    assert predicate(5)
+    assert not predicate(6)
+    assert predicate.as_tuple() == (2, 5)
+
+
+def test_empty_group_range_rejected():
+    with pytest.raises(ValueError):
+        GroupRangePredicate(5, 2)
+
+
+def test_encode_send_time_none_means_always():
+    assert encode_send_time(None) == 0
+    assert encode_send_time(TimePredicate(7)) == 7
+
+
+def test_is_never():
+    assert is_never(math.inf)
+    assert not is_never(0)
+    assert not is_never(1e18)
+    assert not is_never(-math.inf)

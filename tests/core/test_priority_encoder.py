@@ -1,0 +1,30 @@
+"""Unit tests for the priority-encoder helpers."""
+
+from repro.core.priority_encoder import (first_match, parallel_compare,
+                                         priority_encode,
+                                         priority_encode_last)
+
+
+def test_priority_encode_smallest_index():
+    assert priority_encode([False, True, True]) == 1
+    assert priority_encode([True]) == 0
+
+
+def test_priority_encode_all_zero_returns_none():
+    assert priority_encode([False, False]) is None
+    assert priority_encode([]) is None
+
+
+def test_priority_encode_last():
+    assert priority_encode_last([True, False, True, False]) == 2
+    assert priority_encode_last([False]) is None
+
+
+def test_parallel_compare_width():
+    bits = parallel_compare([1, 5, 3, 7], lambda value: value > 2)
+    assert bits == [False, True, True, True]
+
+
+def test_first_match_composes():
+    assert first_match([10, 20, 30], lambda value: value >= 20) == 1
+    assert first_match([10, 20, 30], lambda value: value > 99) is None

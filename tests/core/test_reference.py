@@ -1,0 +1,60 @@
+"""Reference-implementation-specific tests."""
+
+import pytest
+
+from repro.core.element import Element
+from repro.core.reference import ReferencePieo
+from repro.errors import CapacityError
+
+
+def test_unbounded_by_default():
+    pieo = ReferencePieo()
+    for index in range(10_000):
+        pieo.enqueue(Element(index, rank=index % 7))
+    assert len(pieo) == 10_000
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        ReferencePieo(0)
+    with pytest.raises(ValueError):
+        ReferencePieo(-3)
+
+
+def test_capacity_error_message_names_limit():
+    pieo = ReferencePieo(2)
+    pieo.enqueue(Element("a", rank=1))
+    pieo.enqueue(Element("b", rank=1))
+    with pytest.raises(CapacityError, match="capacity 2"):
+        pieo.enqueue(Element("c", rank=1))
+
+
+def test_seq_numbers_monotonic_across_reenqueues():
+    pieo = ReferencePieo()
+    pieo.enqueue(Element("a", rank=1))
+    first_seq = pieo.snapshot()[0].seq
+    pieo.dequeue(now=0)
+    pieo.enqueue(Element("a", rank=1))
+    assert pieo.snapshot()[0].seq > first_seq
+
+
+def test_dequeue_flow_with_duplicate_ranks():
+    pieo = ReferencePieo()
+    for name in "abcde":
+        pieo.enqueue(Element(name, rank=1))
+    assert pieo.dequeue_flow("c").flow_id == "c"
+    assert [e.flow_id for e in pieo.snapshot()] == ["a", "b", "d", "e"]
+
+
+def test_is_full_property():
+    pieo = ReferencePieo(1)
+    assert not pieo.is_full
+    pieo.enqueue(Element("a", rank=1))
+    assert pieo.is_full
+
+
+def test_iteration_yields_rank_order():
+    pieo = ReferencePieo()
+    pieo.enqueue(Element("b", rank=2))
+    pieo.enqueue(Element("a", rank=1))
+    assert [element.flow_id for element in pieo] == ["a", "b"]

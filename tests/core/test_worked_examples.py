@@ -1,0 +1,150 @@
+"""Worked examples in the spirit of Figs. 6 and 7: a 16-element PIEO (8
+sublists of 4), with the full post-operation state asserted — pointer
+array, rank-sublists, and eligibility-sublists.
+
+The published figures' exact constants are not machine-readable in our
+paper source, so these scenarios use the same geometry and exercise the
+same cases the figures walk through (full-sublist enqueue with a fresh
+sublist shifted in; dequeue from a full sublist with a neighbour
+donation and pointer-array re-arrangement)."""
+
+from repro.core.element import Element
+from repro.core.pieo import PieoHardwareList
+
+
+def build_two_full_sublists():
+    """Sublist A: ranks 10,20,30,40 (send times 5,50,5,50);
+    sublist B: ranks 50,60,70,80 (send times 9,9,9,9)."""
+    pieo = PieoHardwareList(16, self_check=True)
+    send_times = {10: 5, 20: 50, 30: 5, 40: 50,
+                  50: 9, 60: 9, 70: 9, 80: 9}
+    for rank in (10, 20, 30, 40, 50, 60, 70, 80):
+        pieo.enqueue(Element(f"f{rank}", rank=rank,
+                             send_time=send_times[rank]))
+    return pieo
+
+
+def nonempty_state(pieo):
+    """[(ranks...), (eligibility...)] per non-empty sublist, in pointer
+    order."""
+    state = []
+    for entry in pieo.pointer_array.nonempty_entries():
+        sublist = pieo.sublists[entry.sublist_id]
+        state.append((
+            tuple(element.rank for element in sublist.entries),
+            tuple(sublist.eligibility),
+        ))
+    return state
+
+
+def pointer_summaries(pieo):
+    return [(entry.smallest_rank, entry.smallest_send_time, entry.num)
+            for entry in pieo.pointer_array.nonempty_entries()]
+
+
+def test_initial_state_matches_figure_geometry():
+    pieo = build_two_full_sublists()
+    assert pieo.sublist_size == 4
+    assert pieo.num_sublists == 8
+    assert nonempty_state(pieo) == [
+        ((10, 20, 30, 40), (5, 5, 50, 50)),
+        ((50, 60, 70, 80), (9, 9, 9, 9)),
+    ]
+    assert pointer_summaries(pieo) == [(10, 5, 4), (50, 9, 4)]
+
+
+def test_fig6_enqueue_into_full_sublist_with_full_neighbor():
+    """Fig. 6's case: the target sublist and its right neighbour are both
+    full, so a fresh empty sublist is shifted to the immediate right of
+    the target and receives the pushed-out tail."""
+    pieo = build_two_full_sublists()
+    pieo.enqueue(Element("f13", rank=13, send_time=2))
+
+    trace = pieo.last_trace
+    assert trace.used_fresh_sublist
+    assert trace.position_in_sublist == 1     # between ranks 10 and 20
+    assert trace.moved_flow == "f40"          # old tail spilled right
+
+    assert nonempty_state(pieo) == [
+        ((10, 13, 20, 30), (2, 5, 5, 50)),    # new element in place
+        ((40,), (50,)),                       # fresh sublist with tail
+        ((50, 60, 70, 80), (9, 9, 9, 9)),     # untouched
+    ]
+    assert pointer_summaries(pieo) == [
+        (10, 2, 4), (40, 50, 1), (50, 9, 4)]
+    # The moved element remains extractable by dequeue(f).
+    assert pieo.dequeue_flow("f40").rank == 40
+
+
+def test_fig7_dequeue_with_full_neighbors_leaves_partial():
+    """Both neighbours of the selected (full) sublist are full or
+    absent: "If both left and right sublists are full, we only read S" —
+    S simply becomes partially full, which cannot violate Invariant 1."""
+    pieo = build_two_full_sublists()
+    served = pieo.dequeue(now=6)
+    assert served.flow_id == "f10"
+
+    trace = pieo.last_trace
+    assert trace.position_in_sublist == 0
+    assert trace.moved_flow is None
+    assert trace.sublists_read == trace.sublists_written
+
+    assert nonempty_state(pieo) == [
+        ((20, 30, 40), (5, 50, 50)),
+        ((50, 60, 70, 80), (9, 9, 9, 9)),
+    ]
+    assert pointer_summaries(pieo) == [(20, 5, 3), (50, 9, 4)]
+
+
+def test_fig7_dequeue_from_full_sublist_with_partial_neighbor():
+    """Fig. 7's donation case: the selected sublist is full and its
+    right neighbour is partial, so the neighbour's head moves into S's
+    tail, keeping S full (Invariant 1)."""
+    pieo = PieoHardwareList(16, self_check=True)
+    send_times = {10: 5, 20: 50, 30: 5, 40: 50, 50: 9, 60: 9, 70: 9}
+    for rank in (10, 20, 30, 40, 50, 60, 70):
+        pieo.enqueue(Element(f"f{rank}", rank=rank,
+                             send_time=send_times[rank]))
+    assert pointer_summaries(pieo) == [(10, 5, 4), (50, 9, 3)]
+
+    served = pieo.dequeue(now=6)
+    assert served.flow_id == "f10"
+    trace = pieo.last_trace
+    assert trace.moved_flow == "f50"          # donated by the neighbour
+
+    assert nonempty_state(pieo) == [
+        ((20, 30, 40, 50), (5, 9, 50, 50)),
+        ((60, 70), (9, 9)),
+    ]
+    assert pointer_summaries(pieo) == [(20, 5, 4), (60, 9, 2)]
+
+
+def test_fig7_dequeue_skips_ineligible_sublist():
+    """At t=5 only elements with send_time <= 5 qualify: ranks 20 and 30
+    in sublist A.  Rank 20 is ineligible (send 50), so the dequeue must
+    return rank 10 (send 5)... at t=5 rank 10 (send 5) is eligible and
+    smallest — but at t=4 *nothing* in sublist A qualifies and sublist B
+    (summary 9) does not either: dequeue returns NULL."""
+    pieo = build_two_full_sublists()
+    assert pieo.dequeue(now=4) is None
+    assert pieo.dequeue(now=5).flow_id == "f10"
+    # Next eligible at t=5 is rank 30 (send 5); rank 20 waits till 50.
+    assert pieo.dequeue(now=5).flow_id == "f30"
+    served = pieo.dequeue(now=9)
+    assert served.flow_id == "f50"
+    assert pieo.dequeue(now=50).flow_id == "f20"
+
+
+def test_emptied_sublist_rejoins_empty_partition_at_head():
+    pieo = PieoHardwareList(16, self_check=True)
+    pieo.enqueue(Element("a", rank=1))
+    pieo.enqueue(Element("b", rank=99))
+    # Force "b" into its own sublist by filling around it is overkill;
+    # instead drain and check the pointer partition bookkeeping.
+    assert pieo.pointer_array.num_nonempty == 1
+    pieo.dequeue(now=0)
+    pieo.dequeue(now=0)
+    assert pieo.pointer_array.num_nonempty == 0
+    assert len(pieo.pointer_array.entries) == 8
+    assert sorted(e.sublist_id for e in pieo.pointer_array.entries) == \
+        list(range(8))

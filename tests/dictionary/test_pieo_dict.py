@@ -1,0 +1,123 @@
+"""Tests for the PIEO dictionary ADT (Section 8)."""
+
+import pytest
+
+from repro.core.pieo import PieoHardwareList
+from repro.dictionary import PieoDict
+from repro.errors import CapacityError
+
+
+def test_insert_search_delete():
+    table = PieoDict()
+    table.insert(5, "five")
+    table.insert(3, "three")
+    assert table.search(5) == "five"
+    assert table.search(99, default="missing") == "missing"
+    assert table.delete(3) == "three"
+    assert table.delete(3) is None  # NULL semantics
+    assert len(table) == 1
+
+
+def test_mapping_protocol():
+    table = PieoDict()
+    table[1] = "one"
+    table[2] = "two"
+    assert table[1] == "one"
+    assert 2 in table
+    assert 3 not in table
+    del table[2]
+    with pytest.raises(KeyError):
+        table[2]
+    with pytest.raises(KeyError):
+        del table[2]
+
+
+def test_insert_replaces_existing_key():
+    table = PieoDict()
+    table.insert(7, "old")
+    table.insert(7, "new")
+    assert len(table) == 1
+    assert table[7] == "new"
+
+
+def test_keys_iterate_in_sorted_order():
+    table = PieoDict()
+    for key in (9, 1, 5, 3, 7):
+        table.insert(key, str(key))
+    assert table.keys() == [1, 3, 5, 7, 9]
+    assert [key for key in table] == [1, 3, 5, 7, 9]
+    assert table.items()[0] == (1, "1")
+    assert table.values() == ["1", "3", "5", "7", "9"]
+
+
+def test_update_in_place():
+    table = PieoDict()
+    table.insert(4, "before")
+    assert table.update(4, "after") is True
+    assert table[4] == "after"
+    assert table.update(99, "x") is False
+
+
+def test_min_and_pop_min():
+    table = PieoDict()
+    assert table.min_key() is None
+    assert table.pop_min() is None
+    for key in (6, 2, 8):
+        table.insert(key, key * 10)
+    assert table.min_key() == 2
+    assert table.pop_min() == (2, 20)
+    assert table.min_key() == 6
+
+
+def test_range_queries():
+    table = PieoDict()
+    for key in range(10):
+        table.insert(key, f"v{key}")
+    assert table.range_keys(3, 6) == [3, 4, 5, 6]
+    assert table.range_keys(20, 30) == []
+
+
+def test_pop_range_extracts_in_order():
+    table = PieoDict()
+    for key in range(10):
+        table.insert(key, f"v{key}")
+    popped = table.pop_range(2, 7, limit=3)
+    assert popped == [(2, "v2"), (3, "v3"), (4, "v4")]
+    assert table.range_keys(2, 7) == [5, 6, 7]
+
+
+def test_pop_range_unlimited():
+    table = PieoDict()
+    for key in (1, 5, 9):
+        table.insert(key, None)
+    assert [key for key, _ in table.pop_range(0, 6)] == [1, 5]
+    assert table.keys() == [9]
+
+
+def test_dictionary_on_hardware_backend():
+    """The whole dictionary runs on the cycle-accurate hardware design."""
+    backend = PieoHardwareList(32, self_check=True)
+    table = PieoDict(backend=backend)
+    for key in (4, 8, 1, 6):
+        table.insert(key, key)
+    assert table.keys() == [1, 4, 6, 8]
+    assert table.pop_min() == (1, 1)
+    assert table.update(6, "updated")
+    assert table[6] == "updated"
+    # Each primitive op cost 4 cycles on the hardware model.
+    assert backend.counters.ops["enqueue"] >= 5
+
+
+def test_hardware_backend_capacity_error():
+    table = PieoDict(backend=PieoHardwareList(2))
+    table.insert(1)
+    table.insert(2)
+    with pytest.raises(CapacityError):
+        table.insert(3)
+
+
+def test_float_keys():
+    table = PieoDict()
+    table.insert(1.5, "a")
+    table.insert(0.25, "b")
+    assert table.keys() == [0.25, 1.5]

@@ -1,0 +1,64 @@
+"""Property-based differential test: PieoDict must behave like a sorted
+view of a built-in dict under any operation sequence — on both the
+reference backend and the cycle-accurate hardware backend."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.pieo import PieoHardwareList
+from repro.dictionary import PieoDict
+
+key = st.integers(min_value=0, max_value=30)
+operation = st.one_of(
+    st.tuples(st.just("insert"), key, st.integers()),
+    st.tuples(st.just("delete"), key, st.none()),
+    st.tuples(st.just("update"), key, st.integers()),
+    st.tuples(st.just("pop_min"), st.none(), st.none()),
+    st.tuples(st.just("pop_range"), key, key),
+)
+
+
+def apply(ops, table):
+    model = {}
+    for name, a, b in ops:
+        if name == "insert":
+            table.insert(a, b)
+            model[a] = b
+        elif name == "delete":
+            expected = model.pop(a, None)
+            assert table.delete(a) == expected
+        elif name == "update":
+            expected = a in model
+            assert table.update(a, b) is expected
+            if expected:
+                model[a] = b
+        elif name == "pop_min":
+            popped = table.pop_min()
+            if model:
+                smallest = min(model)
+                assert popped == (smallest, model.pop(smallest))
+            else:
+                assert popped is None
+        else:  # pop_range
+            low, high = min(a, b), max(a, b)
+            expected = sorted(k for k in model if low <= k <= high)
+            popped = table.pop_range(low, high)
+            assert [k for k, _ in popped] == expected
+            for k in expected:
+                del model[k]
+        assert table.keys() == sorted(model)
+        assert len(table) == len(model)
+    for k, v in model.items():
+        assert table[k] == v
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(operation, max_size=60))
+def test_dict_matches_builtin_reference_backend(ops):
+    apply(ops, PieoDict())
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(operation, max_size=50))
+def test_dict_matches_builtin_hardware_backend(ops):
+    apply(ops, PieoDict(backend=PieoHardwareList(64, self_check=True)))

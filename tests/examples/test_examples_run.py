@@ -1,0 +1,66 @@
+"""Smoke tests: every shipped example runs cleanly and prints its
+headline results."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_examples_directory_complete():
+    names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert {"quickstart.py", "hierarchical_rate_limiting.py",
+            "fair_queueing.py", "custom_algorithm.py",
+            "dictionary_adt.py", "tdma_pacing.py"} <= names
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "smallest ranked eligible" not in out  # prose stays in docstring
+    assert "4.0 per op" in out
+    assert "meets line rate: True" in out
+
+
+def test_fair_queueing(capsys):
+    out = run_example("fair_queueing.py", capsys)
+    assert "wf2q+" in out
+    assert "5.00G" in out  # gold's weighted share on a 10 Gbps link
+
+
+def test_hierarchical_rate_limiting(capsys):
+    out = run_example("hierarchical_rate_limiting.py", capsys)
+    assert "Fig. 11" in out
+    assert "Fig. 12" in out
+    assert "1.00000" in out  # a perfect Jain index row
+
+
+def test_custom_algorithm(capsys):
+    out = run_example("custom_algorithm.py", capsys)
+    assert "[alarm] boosted" in out
+    assert "per-flow results" in out
+
+
+def test_dictionary_adt(capsys):
+    out = run_example("dictionary_adt.py", capsys)
+    assert "range_keys(50, 500) -> [53, 80, 123, 443]" in out
+    assert "NULL semantics" in out
+
+
+def test_tdma_pacing(capsys):
+    out = run_example("tdma_pacing.py", capsys)
+    assert "0.000 ns" in out
+
+
+@pytest.mark.parametrize("name", ["quickstart.py", "dictionary_adt.py",
+                                  "fair_queueing.py"])
+def test_examples_are_deterministic(name, capsys):
+    first = run_example(name, capsys)
+    second = run_example(name, capsys)
+    assert first == second

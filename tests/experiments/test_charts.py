@@ -1,0 +1,68 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.experiments.charts import (ascii_chart, fig8_chart, fig10_chart,
+                                      fig11_chart)
+
+
+def test_basic_chart_geometry():
+    chart = ascii_chart({"s": [0.0, 5.0, 10.0]}, x_labels=["a", "b", "c"],
+                        title="T", height=5, y_label="units")
+    lines = chart.splitlines()
+    assert lines[0] == "T"
+    # title + 5 rows + axis + labels + legend
+    assert len(lines) == 9
+    assert "units" in lines[-1]
+    assert "* = s" in lines[-1]
+    # Max value sits on the top plot row, min on the bottom one.
+    assert "*" in lines[1]
+    assert "*" in lines[5]
+
+
+def test_chart_clipping():
+    chart = ascii_chart({"s": [50.0, 500.0]}, x_labels=["a", "b"],
+                        height=4, y_max=100.0)
+    top_row = chart.splitlines()[0]
+    assert "*" in top_row  # the 500 is clipped to the top
+    assert "100" in top_row
+
+
+def test_overlapping_markers_merge():
+    chart = ascii_chart({"x": [1.0], "y": [1.0]}, x_labels=["a"],
+                        height=3)
+    assert "&" in chart
+
+
+def test_series_length_validated():
+    with pytest.raises(ValueError):
+        ascii_chart({"s": [1.0]}, x_labels=["a", "b"])
+    with pytest.raises(ValueError):
+        ascii_chart({"s": [1.0]}, x_labels=["a"], height=1)
+
+
+def test_empty_series_returns_title():
+    assert ascii_chart({}, x_labels=[], title="nothing") == "nothing"
+
+
+def test_fig8_chart_shows_clipped_pifo():
+    chart = fig8_chart()
+    assert "pieo" in chart and "pifo" in chart
+    assert "30K" in chart
+    # PIFO hits the 100% ceiling row for most sizes.
+    top_row = chart.splitlines()[1]
+    assert "o" in top_row
+
+
+def test_fig10_chart_renders():
+    chart = fig10_chart()
+    assert "MHz" in chart
+    assert "1K" in chart and "33K" in chart  # 32768 rounds to 33K
+
+
+def test_fig11_chart_markers_coincide():
+    chart = fig11_chart(duration=0.004)
+    # Achieved == configured everywhere -> every point is a merged '&'.
+    plot_rows = chart.splitlines()[1:-3]
+    assert any("&" in row for row in plot_rows)
+    assert not any("*" in row or "o" in row for row in plot_rows)

@@ -1,0 +1,51 @@
+"""Tests for the end-to-end shaping and datastructure comparisons."""
+
+import math
+
+import pytest
+
+from repro.baselines.pifo_scheduler import PifoShapingScheduler
+from repro.experiments.end_to_end_shaping import (LIMITS_GBPS,
+                                                  shaping_comparison_table)
+from repro.experiments.structure_comparison import structure_comparison_table
+from repro.sim.flow import FlowQueue
+from repro.sim.packet import Packet
+
+
+def test_shaping_comparison_table():
+    table = shaping_comparison_table()
+    rows = {row[0]: row for row in table.rows}
+    # PIEO matches every configured limit.
+    for index, limit in enumerate(LIMITS_GBPS):
+        assert rows["pieo"][index + 1] == pytest.approx(limit, rel=0.05)
+    # PIFO and FIFO run at line rate (10 G total).
+    assert rows["pifo"][-1] == pytest.approx(10.0, rel=0.02)
+    assert rows["fifo"][-1] == pytest.approx(10.0, rel=0.02)
+    # ... and individually violate their limits.
+    assert rows["pifo"][1] > LIMITS_GBPS[0] * 1.5
+    assert rows["fifo"][1] > LIMITS_GBPS[0] * 1.5
+
+
+def test_structure_comparison_table():
+    table = structure_comparison_table(size=256, operations=150)
+    rows = {row[0]: row for row in table.rows}
+    pieo = rows["pieo (sqrt-N design)"]
+    assert pieo[1] == pieo[2] == pieo[3] == 4  # constant 4 cycles
+    heap = rows["p-heap"]
+    assert heap[1] < heap[2] < heap[3]  # search cost explodes
+    assert heap[3] > 10 * pieo[3]
+
+
+def test_pifo_shaping_scheduler_mechanics():
+    scheduler = PifoShapingScheduler(link_rate_bps=10e9)
+    flow = scheduler.add_flow(FlowQueue("f", rate_bps=1e9))
+    scheduler.on_arrival("f", Packet("f"), now=0.0)
+    scheduler.on_arrival("f", Packet("f"), now=0.0)
+    # Dequeue succeeds immediately even though the send time is in the
+    # future — the PIFO cannot defer.
+    first = scheduler.schedule(now=0.0)
+    assert len(first) == 1
+    second = scheduler.schedule(now=0.0)
+    assert len(second) == 1
+    assert flow.is_empty
+    assert math.isinf(scheduler.next_eligible_time(0.0))

@@ -1,0 +1,153 @@
+"""Tests for the evaluation harness: every table generates and its key
+properties (the paper's qualitative claims) hold."""
+
+import pytest
+
+from repro.experiments import (alms_table, approx_structures_table,
+                               clock_table, deviation_sweep, example_table,
+                               fair_queue_table, measured_cycles_per_op,
+                               pipeline_table, rate_limit_table, rate_table,
+                               scalability_table, sram_table,
+                               sublist_ablation_table,
+                               trigger_ablation_table)
+from repro.experiments.runner import Table
+
+
+def test_table_formatting():
+    table = Table("title", ["a", "b"])
+    table.add_row(1, 2.5)
+    table.add_note("a note")
+    text = table.to_text()
+    assert "title" in text
+    assert "2.5" in text
+    assert "note: a note" in text
+    assert table.column("a") == [1]
+
+
+def test_table_row_width_checked():
+    table = Table("t", ["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row(1)
+
+
+def test_fig2_example_table():
+    table = example_table()
+    designs = table.column("design")
+    deviations = dict(zip(designs, table.column(
+        "max_deviation_vs_ideal")))
+    assert deviations["pieo"] == 0
+    assert deviations["two_pifo"] > 0
+    assert deviations["single_pifo_finish"] > 0
+
+
+def test_fig2_deviation_sweep_grows():
+    table = deviation_sweep(sizes=(8, 64), trials=2)
+    pieo = table.column("pieo_max_dev")
+    two_pifo = table.column("two_pifo_max_dev")
+    assert pieo == [0, 0]
+    assert two_pifo[1] > two_pifo[0]
+
+
+def test_fig8_table_shapes():
+    table = alms_table()
+    sizes = table.column("size")
+    pieo = table.column("pieo_alms_pct")
+    pifo = table.column("pifo_alms_pct")
+    assert pieo == sorted(pieo)
+    assert pifo == sorted(pifo)
+    row_1k = sizes.index(1024)
+    assert pifo[row_1k] == pytest.approx(64.0, abs=2)
+    assert not table.column("pifo_fits")[sizes.index(2048)]
+    assert table.column("pieo_fits")[sizes.index(30000)]
+
+
+def test_fig9_table_modest_consumption():
+    table = sram_table()
+    assert all(table.column("fits"))
+    assert max(table.column("sram_pct")) < 20
+    assert all(overhead <= 2.2 for overhead in table.column("overhead_x"))
+
+
+def test_fig10_table_anchors():
+    table = clock_table()
+    sizes = table.column("size")
+    pieo = table.column("pieo_mhz")
+    assert pieo[sizes.index(30000)] == pytest.approx(80, abs=2)
+    assert table.column("pifo_mhz")[sizes.index(1024)] == pytest.approx(
+        57, abs=2)
+    assert pieo == sorted(pieo, reverse=True)
+
+
+def test_scheduling_rate_table():
+    table = rate_table()
+    assert all(table.column("meets_mtu_100g"))
+    asic_row = [row for row in table.rows if "ASIC" in row[1]][0]
+    assert asic_row[5] == pytest.approx(4.0)
+
+
+def test_measured_cycles_is_exactly_four():
+    assert measured_cycles_per_op(capacity=256,
+                                  operations=500) == pytest.approx(4.0)
+
+
+def test_scalability_table_claim():
+    table = scalability_table()
+    stratix_row = table.rows[0]
+    factor = stratix_row[4]
+    assert factor > 30
+
+
+def test_fig11_table_accuracy():
+    table = rate_limit_table(sweep_gbps=(1.0, 4.0), duration=0.006)
+    for error in table.column("error_pct"):
+        assert error < 2.0
+
+
+def test_fig12_table_fairness():
+    table = fair_queue_table(sweep_gbps=(2.0,), duration=0.006)
+    assert all(jain > 0.99 for jain in table.column("jain_index"))
+
+
+def test_fig12_weighted_variant():
+    table = fair_queue_table(sweep_gbps=(2.0,), duration=0.006,
+                             flow_weights=[1.0, 2.0])
+    assert all(jain > 0.99 for jain in table.column("jain_index"))
+
+
+def test_ablation_sublist_table():
+    table = sublist_ablation_table(capacity=1024,
+                                   sizes=(8, 32, 128),
+                                   operations=800)
+    assert all(cycles == pytest.approx(4.0)
+               for cycles in table.column("cycles_per_op"))
+    lanes = table.column("lanes")
+    assert lanes[1] == min(lanes)  # sqrt(1024) = 32 minimizes lanes
+
+
+def test_trigger_ablation_table():
+    table = trigger_ablation_table()
+    rows = {row[0]: row for row in table.rows}
+    assert rows["output"][1] == 0          # adapts in the first window
+    assert rows["input"][1] == "never"     # stale stamps persist
+    assert rows["input"][2] < 1.5          # still near the old 1 Gbps
+
+
+def test_pipeline_table():
+    table = pipeline_table()
+    cycles = dict(zip(table.column("design"),
+                      table.column("cycles_per_op")))
+    assert cycles["pieo non-pipelined (prototype)"] == 4
+    assert cycles["pieo partially pipelined"] == pytest.approx(2.0,
+                                                               abs=0.01)
+    assert all(table.column("mtu_100g_ok"))
+
+
+def test_approx_structures_table():
+    table = approx_structures_table(size=100)
+    rows = {(row[0], row[1]): row[2] for row in table.rows}
+    assert rows[("pieo (exact)", "-")] == 0
+    # Calendar queue error shrinks as buckets grow.
+    assert rows[("calendar_queue", 64)] <= rows[("calendar_queue", 4)]
+    # Every approximate structure deviates somewhere.
+    assert any(value > 0 for key, value in rows.items()
+               if key[0] != "pieo (exact)")

@@ -1,0 +1,30 @@
+"""Tests for device descriptions."""
+
+import pytest
+
+from repro.hw.device import ASIC, STRATIX_10, STRATIX_V
+
+
+def test_stratix_v_matches_paper():
+    """Section 6: 234 K ALMs, 52 Mbit SRAM, 40 Gbps interface; ~2500
+    dual-port blocks of 20 Kbit."""
+    assert STRATIX_V.alms == 234_000
+    assert STRATIX_V.sram_bits == 52 * 1024 * 1024
+    assert STRATIX_V.interface_gbps == 40.0
+    assert STRATIX_V.sram_blocks == 2_500
+    assert STRATIX_V.sram_block_bits == 20 * 1024
+
+
+def test_fraction_helpers():
+    assert STRATIX_V.alm_fraction(117_000) == pytest.approx(0.5)
+    assert STRATIX_V.sram_fraction(STRATIX_V.sram_bits) == 1.0
+
+
+def test_devices_are_frozen():
+    with pytest.raises(Exception):
+        STRATIX_V.alms = 1
+
+
+def test_device_ordering_of_capability():
+    assert STRATIX_10.alms > STRATIX_V.alms
+    assert ASIC.base_clock_mhz >= 1_000

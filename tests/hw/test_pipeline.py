@@ -1,0 +1,65 @@
+"""Tests for the Section 6.2 pipelining analysis."""
+
+import pytest
+
+from repro.hw.pipeline import (earliest_issue, nonpipelined_total_cycles,
+                               pipeline_report, pipelined_schedule,
+                               pipelined_total_cycles)
+
+
+def test_single_op_takes_four_cycles_either_way():
+    assert nonpipelined_total_cycles(1) == 4
+    assert pipelined_total_cycles(1) == 4
+
+
+def test_zero_ops():
+    assert pipelined_total_cycles(0) == 0
+    assert pipelined_schedule(0) == []
+
+
+def test_negative_ops_rejected():
+    with pytest.raises(ValueError):
+        pipelined_schedule(-1)
+
+
+def test_no_two_memory_stages_collide():
+    """The dual-port SRAM constraint: at most one op's memory stage per
+    cycle (each memory stage already uses both ports)."""
+    issues = pipelined_schedule(50)
+    memory_cycles = []
+    for issue in issues:
+        memory_cycles.extend([issue + 1, issue + 3])
+    assert len(memory_cycles) == len(set(memory_cycles))
+
+
+def test_steady_state_issue_interval_is_two():
+    report = pipeline_report(1_000)
+    assert report.issue_interval == pytest.approx(2.0, abs=0.01)
+    assert report.speedup == pytest.approx(2.0, abs=0.01)
+
+
+def test_pipelined_never_slower_than_serial():
+    for num_ops in (1, 2, 3, 5, 17, 100):
+        assert (pipelined_total_cycles(num_ops)
+                <= nonpipelined_total_cycles(num_ops))
+
+
+def test_earliest_issue_respects_existing_ops():
+    # Op at 0 uses memory in cycles 1 and 3; next op may issue at 1
+    # (memory at 2 and 4 — no clash) but not such that memories collide.
+    assert earliest_issue([]) == 0
+    assert earliest_issue([0]) == 1
+    assert earliest_issue([0, 1]) == 4
+
+
+def test_schedule_is_monotone():
+    issues = pipelined_schedule(100)
+    assert issues == sorted(issues)
+    assert len(set(issues)) == len(issues)
+
+
+def test_full_pipeline_impossible():
+    """1 op/cycle would require memory-stage overlap, which the port
+    constraint forbids — throughput cannot beat 1 op per 2 cycles."""
+    for num_ops in (10, 100, 500):
+        assert pipelined_total_cycles(num_ops) >= 2 * num_ops

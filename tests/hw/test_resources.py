@@ -1,0 +1,76 @@
+"""Tests for the logic-resource model: paper anchors and scaling shape."""
+
+import math
+
+import pytest
+
+from repro.hw.device import STRATIX_10, STRATIX_V
+from repro.hw.resources import (logic_report, max_capacity, pieo_alms,
+                                pieo_lanes, pifo_alms, pifo_lanes,
+                                scalability_factor)
+
+
+def test_pifo_anchor_64_percent_at_1k():
+    """Section 6.1: PIFO consumes 64% of Stratix V ALMs at 1 K."""
+    report = logic_report(1_024, STRATIX_V)
+    assert report.pifo_percent == pytest.approx(64.0, abs=1.5)
+
+
+def test_pifo_cannot_fit_2k():
+    """Section 6.1: "we can't fit a PIFO with 2 K elements or more"."""
+    assert not logic_report(2_048, STRATIX_V).pifo_fits
+    assert max_capacity("pifo", STRATIX_V) < 2_048
+
+
+def test_pieo_fits_30k():
+    """Section 6.1: "we can easily fit a PIEO scheduler with 30 K"."""
+    report = logic_report(30_000, STRATIX_V)
+    assert report.pieo_fits
+    assert report.pieo_percent < 80.0
+
+
+def test_scalability_claim_over_30x():
+    assert scalability_factor(STRATIX_V) > 30.0
+
+
+def test_pifo_scales_linearly():
+    assert pifo_alms(2_000) - pifo_alms(1_000) == pytest.approx(
+        pifo_alms(3_000) - pifo_alms(2_000))
+    assert pifo_lanes(4_096) == 4 * pifo_lanes(1_024)
+
+
+def test_pieo_scales_as_sqrt():
+    """Quadrupling N should roughly double PIEO's lane count."""
+    ratio = pieo_lanes(4 * 4_096) / pieo_lanes(4_096)
+    assert 1.8 < ratio < 2.2
+
+
+def test_pieo_sublinear_vs_pifo_crossover():
+    """PIEO costs more than PIFO only at tiny sizes (if at all); by 1K
+    PIEO is already far cheaper."""
+    assert pieo_alms(1_024) < pifo_alms(1_024) / 4
+
+
+def test_max_capacity_monotone_consistency():
+    for design in ("pifo", "pieo"):
+        limit = max_capacity(design, STRATIX_V)
+        alms_fn = pifo_alms if design == "pifo" else pieo_alms
+        assert alms_fn(limit) <= STRATIX_V.alms
+        assert alms_fn(limit + 1) > STRATIX_V.alms
+
+
+def test_bigger_device_scales_capacity():
+    assert (max_capacity("pieo", STRATIX_10)
+            > max_capacity("pieo", STRATIX_V))
+
+
+def test_ablation_lane_minimum_near_sqrt():
+    capacity = 4_096
+    sqrt_size = int(math.sqrt(capacity))
+    best = min(range(8, 513),
+               key=lambda size: pieo_lanes(capacity, size))
+    assert abs(best - sqrt_size) <= sqrt_size  # same order of magnitude
+    assert (pieo_lanes(capacity, sqrt_size)
+            <= pieo_lanes(capacity, 8))
+    assert (pieo_lanes(capacity, sqrt_size)
+            <= pieo_lanes(capacity, 512))

@@ -1,0 +1,48 @@
+"""Tests for the SRAM layout model."""
+
+from repro.hw.device import STRATIX_V
+from repro.hw.sram import (ENTRY_BITS, sram_overhead_factor, sram_report)
+
+
+def test_entry_bits_match_paper_field_widths():
+    """16-bit flow id + 16-bit rank + 16-bit send_time + 16-bit
+    eligibility-sublist copy."""
+    assert ENTRY_BITS == 64
+
+
+def test_raw_bits_formula():
+    report = sram_report(16, STRATIX_V)
+    assert report.sublist_size == 4
+    assert report.num_sublists == 8
+    assert report.raw_bits == 8 * 4 * ENTRY_BITS
+
+
+def test_30k_consumption_is_modest():
+    """Section 6.1: total SRAM consumption is 'fairly modest'."""
+    report = sram_report(30_000, STRATIX_V)
+    assert report.fits
+    assert report.percent < 20.0
+
+
+def test_overhead_bounded_by_two():
+    """Invariant 1: at most 2x slot over-provisioning."""
+    for capacity in (16, 100, 1_024, 30_000, 65_536):
+        factor = sram_overhead_factor(capacity)
+        assert 1.0 <= factor <= 2.2  # 2x + ceil rounding slack
+
+
+def test_perfect_square_overhead_exactly_two():
+    assert sram_overhead_factor(1_024) == 2.0
+
+
+def test_block_granularity_allocates_whole_blocks():
+    report = sram_report(1_024, STRATIX_V)
+    assert report.allocated_bits % STRATIX_V.sram_block_bits == 0
+    assert report.allocated_bits >= report.raw_bits
+
+
+def test_consumption_grows_with_size():
+    small = sram_report(1_024, STRATIX_V)
+    large = sram_report(30_000, STRATIX_V)
+    assert large.percent > small.percent
+    assert large.blocks_required > small.blocks_required

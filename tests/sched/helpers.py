@@ -1,0 +1,55 @@
+"""Shared simulation harness for scheduling-algorithm tests."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.sched.framework import PieoScheduler
+from repro.sim.engine import TransmitEngine
+from repro.sim.events import Simulator
+from repro.sim.flow import FlowQueue
+from repro.sim.generators import BackloggedSource
+from repro.sim.link import Link, gbps
+from repro.sim.packet import MTU_BYTES
+
+
+class FlatRun:
+    """A flat scheduler + engine + backlogged sources, ready to run."""
+
+    def __init__(self, algorithm, link_gbps: float = 10.0,
+                 ordered_list=None, trigger=None) -> None:
+        self.sim = Simulator()
+        self.link = Link(gbps(link_gbps))
+        kwargs = {"link_rate_bps": self.link.rate_bps}
+        if ordered_list is not None:
+            kwargs["ordered_list"] = ordered_list
+        if trigger is not None:
+            kwargs["trigger"] = trigger
+        self.scheduler = PieoScheduler(algorithm, **kwargs)
+        self.engine = TransmitEngine(self.sim, self.scheduler, self.link)
+        self.sources: Dict[str, BackloggedSource] = {}
+
+    def add_backlogged_flow(self, flow: FlowQueue, depth: int = 2,
+                            size_bytes: int = MTU_BYTES,
+                            start: float = 0.0,
+                            end_time: float = float("inf")) -> FlowQueue:
+        self.scheduler.add_flow(flow)
+        source = BackloggedSource(self.sim, flow.flow_id,
+                                  self.engine.arrival_sink, depth=depth,
+                                  size_bytes=size_bytes, end_time=end_time)
+        self.engine.add_departure_listener(flow.flow_id,
+                                           source.on_departure)
+        source.start(start)
+        self.sources[flow.flow_id] = source
+        return flow
+
+    def run(self, duration: float) -> "FlatRun":
+        self.sim.run_until(duration)
+        return self
+
+    def rates(self, start: float, end: Optional[float] = None,
+              in_gbps: bool = False) -> Dict:
+        measured = self.engine.recorder.rate_bps(start=start, end=end)
+        if in_gbps:
+            return {key: value / 1e9 for key, value in measured.items()}
+        return measured

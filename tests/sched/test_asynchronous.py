@@ -1,0 +1,129 @@
+"""Tests for asynchronous scheduling (Section 4.4): priority aging and
+network-feedback pause/resume."""
+
+import pytest
+
+from repro.sched import (AgingStrictPriority, FeedbackChannel,
+                         PieoScheduler, install_aging_monitor,
+                         starving_flows)
+from repro.sim import FlowQueue, Link, Packet, Simulator, TransmitEngine, gbps
+
+
+def saturated_priority_setup(algorithm):
+    sim = Simulator()
+    link = Link(gbps(1))
+    scheduler = PieoScheduler(algorithm, link_rate_bps=link.rate_bps)
+    scheduler.add_flow(FlowQueue("high", priority=0))
+    scheduler.add_flow(FlowQueue("low", priority=9))
+    engine = TransmitEngine(sim, scheduler, link)
+    engine.add_departure_listener(
+        "high", lambda: engine.arrival_sink("high", Packet("high")))
+    engine.arrival_sink("high", Packet("high"))
+    engine.arrival_sink("high", Packet("high"))
+    engine.arrival_sink("low", Packet("low"))
+    return sim, scheduler, engine
+
+
+def test_aging_rescues_starving_flow():
+    """With the aging alarm installed, the low-priority flow eventually
+    transmits despite a saturating high-priority flow."""
+    sim, scheduler, engine = saturated_priority_setup(AgingStrictPriority())
+    install_aging_monitor(sim, scheduler, threshold=1e-3, period=5e-4,
+                          end_time=0.1)
+    sim.run_until(0.1)
+    assert "low" in engine.recorder.order()
+    # The alarm handler decremented the flow's priority at least 9 times.
+    assert scheduler.flows["low"].priority < 1
+
+
+def test_no_aging_monitor_means_starvation():
+    sim, scheduler, engine = saturated_priority_setup(AgingStrictPriority())
+    sim.run_until(0.05)
+    assert "low" not in engine.recorder.order()
+
+
+def test_starving_flows_detector():
+    scheduler = PieoScheduler(AgingStrictPriority())
+    backlogged = scheduler.add_flow(FlowQueue("b", priority=1))
+    scheduler.add_flow(FlowQueue("idle", priority=1))
+    scheduler.on_arrival("b", Packet("b"), 0.0)
+    assert starving_flows(scheduler, now=0.5, threshold=1.0) == []
+    assert starving_flows(scheduler, now=2.0,
+                          threshold=1.0) == [backlogged]
+
+
+def test_aging_resets_age_on_service():
+    sim, scheduler, engine = saturated_priority_setup(AgingStrictPriority())
+    sim.run_until(0.01)
+    assert scheduler.flows["high"].state["age"] > 0.0
+
+
+def test_install_aging_monitor_validation():
+    sim = Simulator()
+    scheduler = PieoScheduler(AgingStrictPriority())
+    with pytest.raises(ValueError):
+        install_aging_monitor(sim, scheduler, threshold=0, period=1,
+                              end_time=1)
+
+
+def test_feedback_pause_silences_flow():
+    sim = Simulator()
+    link = Link(gbps(1))
+    scheduler = PieoScheduler(AgingStrictPriority(),
+                              link_rate_bps=link.rate_bps)
+    scheduler.add_flow(FlowQueue("f", priority=1))
+    engine = TransmitEngine(sim, scheduler, link)
+    engine.add_departure_listener(
+        "f", lambda: engine.arrival_sink("f", Packet("f")))
+    channel = FeedbackChannel(sim, scheduler, engine=engine)
+    engine.arrival_sink("f", Packet("f"))
+    engine.arrival_sink("f", Packet("f"))
+    sim.schedule(0.001, lambda: channel.pause("f"))
+    sim.run_until(0.01)
+    paused_count = len(engine.recorder)
+    sim.run_until(0.02)
+    assert len(engine.recorder) == paused_count  # nothing after pause
+
+
+def test_feedback_resume_restarts_flow():
+    sim = Simulator()
+    link = Link(gbps(1))
+    scheduler = PieoScheduler(AgingStrictPriority(),
+                              link_rate_bps=link.rate_bps)
+    scheduler.add_flow(FlowQueue("f", priority=1))
+    engine = TransmitEngine(sim, scheduler, link)
+    engine.add_departure_listener(
+        "f", lambda: engine.arrival_sink("f", Packet("f")))
+    channel = FeedbackChannel(sim, scheduler, engine=engine)
+    engine.arrival_sink("f", Packet("f"))
+    engine.arrival_sink("f", Packet("f"))
+    sim.schedule(0.001, lambda: channel.pause("f"))
+    sim.schedule(0.010, lambda: channel.resume("f"))
+    sim.run_until(0.02)
+    after_resume = [d for d in engine.recorder.departures
+                    if d.time > 0.010]
+    assert after_resume  # flow transmits again after resume
+    assert channel.log[0].kind == "pause"
+    assert channel.log[1].kind == "resume"
+
+
+def test_feedback_delay_applied():
+    sim = Simulator()
+    scheduler = PieoScheduler(AgingStrictPriority())
+    scheduler.add_flow(FlowQueue("f", priority=1))
+    channel = FeedbackChannel(sim, scheduler, delay=0.5)
+    scheduler.on_arrival("f", Packet("f"), 0.0)
+    channel.pause("f")
+    sim.run_until(0.4)
+    assert scheduler.schedule(sim.now) != []  # not yet applied
+    scheduler.on_arrival("f", Packet("f"), sim.now)
+    sim.run_until(0.6)
+    assert channel.log[0].time == pytest.approx(0.5)
+    assert scheduler.schedule(sim.now) == []  # now paused
+
+
+def test_feedback_validation():
+    sim = Simulator()
+    scheduler = PieoScheduler(AgingStrictPriority())
+    with pytest.raises(ValueError):
+        FeedbackChannel(sim, scheduler, delay=-1)

@@ -1,0 +1,77 @@
+"""Direct tests of the SchedulingAlgorithm defaults (Section 3.2.1)."""
+
+from repro.core.element import ALWAYS_ELIGIBLE
+from repro.sched import PieoScheduler, SchedulingAlgorithm
+from repro.sched.base import TimeBase, TriggerModel
+from repro.sched.framework import SchedulerContext
+from repro.sim.flow import FlowQueue
+from repro.sim.packet import Packet
+
+
+def test_default_pre_enqueue_assigns_rank_one_always_eligible():
+    scheduler = PieoScheduler(SchedulingAlgorithm())
+    flow = scheduler.add_flow(FlowQueue("f"))
+    flow.push(Packet("f"))
+    ctx = SchedulerContext(scheduler, 0.0, reason="arrival")
+    scheduler.algorithm.pre_enqueue(ctx, flow)
+    element = scheduler.ordered_list.snapshot()[0]
+    assert element.rank == 1
+    assert element.send_time == ALWAYS_ELIGIBLE
+
+
+def test_default_post_dequeue_sends_head_and_reenqueues():
+    scheduler = PieoScheduler(SchedulingAlgorithm())
+    flow = scheduler.add_flow(FlowQueue("f"))
+    flow.push(Packet("f"))
+    flow.push(Packet("f"))
+    ctx = SchedulerContext(scheduler, 0.0, reason="dequeue")
+    scheduler.algorithm.post_dequeue(ctx, flow)
+    assert len(ctx.sent) == 1
+    assert len(flow) == 1
+    assert "f" in scheduler.ordered_list
+
+
+def test_default_post_dequeue_drops_empty_flow():
+    scheduler = PieoScheduler(SchedulingAlgorithm())
+    flow = scheduler.add_flow(FlowQueue("f"))
+    flow.push(Packet("f"))
+    ctx = SchedulerContext(scheduler, 0.0, reason="dequeue")
+    scheduler.algorithm.post_dequeue(ctx, flow)
+    assert "f" not in scheduler.ordered_list
+
+
+def test_default_packet_attributes():
+    algorithm = SchedulingAlgorithm()
+    assert algorithm.packet_attributes(None, None, None) == (
+        1, ALWAYS_ELIGIBLE)
+
+
+def test_default_alarm_handler_is_noop():
+    scheduler = PieoScheduler(SchedulingAlgorithm())
+    flow = scheduler.add_flow(FlowQueue("f"))
+    ctx = SchedulerContext(scheduler, 0.0, reason="alarm")
+    assert scheduler.algorithm.alarm_handler(ctx, flow) is None
+
+
+def test_eligibility_time_bases():
+    scheduler = PieoScheduler(SchedulingAlgorithm())
+    scheduler.state["virtual_time"] = 42.0
+    ctx = SchedulerContext(scheduler, 7.0, reason="dequeue")
+    wall = SchedulingAlgorithm()
+    assert wall.eligibility_time(ctx) == 7.0
+    virtual = SchedulingAlgorithm()
+    virtual.time_base = TimeBase.VIRTUAL
+    assert virtual.eligibility_time(ctx) == 42.0
+
+
+def test_trigger_model_enum_values():
+    assert TriggerModel.INPUT.value == "input"
+    assert TriggerModel.OUTPUT.value == "output"
+
+
+def test_context_virtual_time_setter():
+    scheduler = PieoScheduler(SchedulingAlgorithm())
+    ctx = SchedulerContext(scheduler, 0.0, reason="dequeue")
+    assert ctx.virtual_time == 0.0
+    ctx.virtual_time = 5.5
+    assert scheduler.state["virtual_time"] == 5.5

@@ -1,0 +1,147 @@
+"""Tests for the priority schedulers (Section 4.5)."""
+
+import pytest
+
+from repro.sched import (EarliestDeadlineFirst, LeastSlackTimeFirst,
+                         PieoScheduler, ShortestJobFirst,
+                         ShortestRemainingTimeFirst, StrictPriority)
+from repro.sim import FlowQueue, Link, Packet, Simulator, TransmitEngine, gbps
+
+
+def drain_order(scheduler, arrivals, now=0.0):
+    """Feed (flow_id, packet) arrivals, then drain; return flow order."""
+    for flow_id, packet in arrivals:
+        scheduler.on_arrival(flow_id, packet, now)
+    order = []
+    while True:
+        packets = scheduler.schedule(now)
+        if not packets:
+            return order
+        order.extend(packet.flow_id for packet in packets)
+
+
+def test_strict_priority_order():
+    scheduler = PieoScheduler(StrictPriority())
+    for name, priority in (("bulk", 7), ("control", 0), ("video", 3)):
+        scheduler.add_flow(FlowQueue(name, priority=priority))
+    order = drain_order(scheduler, [
+        ("bulk", Packet("bulk")),
+        ("video", Packet("video")),
+        ("control", Packet("control")),
+    ])
+    assert order == ["control", "video", "bulk"]
+
+
+def test_strict_priority_fifo_within_level():
+    scheduler = PieoScheduler(StrictPriority())
+    scheduler.add_flow(FlowQueue("a", priority=1))
+    scheduler.add_flow(FlowQueue("b", priority=1))
+    order = drain_order(scheduler, [
+        ("b", Packet("b")), ("a", Packet("a")),
+        ("b", Packet("b")), ("a", Packet("a")),
+    ])
+    assert order == ["b", "a", "b", "a"]
+
+
+def test_strict_priority_starves_low_priority():
+    """Without aging, a saturating high-priority flow starves the rest —
+    the motivation for Section 4.4."""
+    sim = Simulator()
+    link = Link(gbps(1))
+    scheduler = PieoScheduler(StrictPriority(), link_rate_bps=link.rate_bps)
+    scheduler.add_flow(FlowQueue("high", priority=0))
+    scheduler.add_flow(FlowQueue("low", priority=9))
+    engine = TransmitEngine(sim, scheduler, link)
+
+    def refill_high():
+        engine.arrival_sink("high", Packet("high"))
+
+    engine.add_departure_listener("high", refill_high)
+    engine.arrival_sink("low", Packet("low"))
+    refill_high()
+    refill_high()
+    sim.run_until(0.01)
+    assert "low" not in engine.recorder.order()
+
+
+def test_sjf_serves_smallest_backlog_first():
+    scheduler = PieoScheduler(ShortestJobFirst())
+    scheduler.add_flow(FlowQueue("small"))
+    scheduler.add_flow(FlowQueue("large"))
+    order = drain_order(scheduler, [
+        ("large", Packet("large", size_bytes=1500)),
+        ("small", Packet("small", size_bytes=64)),
+    ])
+    assert order == ["small", "large"]
+
+
+def test_srtf_rank_tracks_remaining_bytes():
+    scheduler = PieoScheduler(ShortestRemainingTimeFirst())
+    flow_a = scheduler.add_flow(FlowQueue("a"))
+    scheduler.add_flow(FlowQueue("b"))
+    scheduler.on_arrival("a", Packet("a", size_bytes=1000), 0.0)
+    scheduler.on_arrival("a", Packet("a", size_bytes=1000), 0.0)
+    scheduler.on_arrival("b", Packet("b", size_bytes=1500), 0.0)
+    # The second arrival grew a's backlog to 2000 B after its rank was
+    # set; refresh it asynchronously (Section 4.4 dynamic rank update).
+    scheduler.run_alarm("a", 0.0)
+    # Now a has 2000 B remaining, b 1500 B -> b first; then a.
+    assert scheduler.schedule(0.0)[0].flow_id == "b"
+    assert scheduler.schedule(0.0)[0].flow_id == "a"
+    assert flow_a.state["remaining_bytes"] == 1000
+
+
+def test_srtf_without_refresh_keeps_activation_rank():
+    scheduler = PieoScheduler(ShortestRemainingTimeFirst())
+    scheduler.add_flow(FlowQueue("a"))
+    scheduler.add_flow(FlowQueue("b"))
+    scheduler.on_arrival("a", Packet("a", size_bytes=1000), 0.0)
+    scheduler.on_arrival("a", Packet("a", size_bytes=1000), 0.0)
+    scheduler.on_arrival("b", Packet("b", size_bytes=1500), 0.0)
+    # Without the refresh, a keeps its activation-time rank of 1000.
+    assert scheduler.schedule(0.0)[0].flow_id == "a"
+
+
+def test_edf_orders_by_absolute_deadline():
+    scheduler = PieoScheduler(EarliestDeadlineFirst())
+    tight = scheduler.add_flow(FlowQueue("tight"))
+    loose = scheduler.add_flow(FlowQueue("loose"))
+    tight.state["deadline_offset"] = 0.001
+    loose.state["deadline_offset"] = 1.0
+    order = drain_order(scheduler, [
+        ("loose", Packet("loose", arrival_time=0.0)),
+        ("tight", Packet("tight", arrival_time=0.0)),
+    ])
+    assert order == ["tight", "loose"]
+
+
+def test_edf_earlier_arrival_wins_same_offset():
+    scheduler = PieoScheduler(EarliestDeadlineFirst())
+    scheduler.add_flow(FlowQueue("early"))
+    scheduler.add_flow(FlowQueue("late"))
+    scheduler.on_arrival("early", Packet("early", arrival_time=0.0), 0.0)
+    scheduler.on_arrival("late", Packet("late", arrival_time=0.5), 0.5)
+    assert scheduler.schedule(0.5)[0].flow_id == "early"
+
+
+def test_lstf_least_slack_first():
+    scheduler = PieoScheduler(LeastSlackTimeFirst(), link_rate_bps=gbps(1))
+    urgent = scheduler.add_flow(FlowQueue("urgent"))
+    relaxed = scheduler.add_flow(FlowQueue("relaxed"))
+    urgent.state["deadline_offset"] = 0.01
+    relaxed.state["deadline_offset"] = 0.5
+    order = drain_order(scheduler, [
+        ("relaxed", Packet("relaxed", arrival_time=0.0)),
+        ("urgent", Packet("urgent", arrival_time=0.0)),
+    ])
+    assert order == ["urgent", "relaxed"]
+
+
+def test_lstf_accounts_for_remaining_transmission():
+    """Equal deadlines: the flow with more bytes left has less slack."""
+    scheduler = PieoScheduler(LeastSlackTimeFirst(), link_rate_bps=gbps(1))
+    scheduler.add_flow(FlowQueue("heavy"))
+    scheduler.add_flow(FlowQueue("light"))
+    scheduler.on_arrival("heavy", Packet("heavy", size_bytes=1500), 0.0)
+    scheduler.on_arrival("light", Packet("light", size_bytes=100), 0.0)
+    assert scheduler.schedule(0.0)[0].flow_id == "heavy"

@@ -1,0 +1,65 @@
+"""Tests for packets and flow queues."""
+
+import pytest
+
+from repro.sim.flow import FlowQueue
+from repro.sim.packet import MTU_BYTES, Packet
+
+
+def test_packet_defaults():
+    packet = Packet(flow_id="f")
+    assert packet.size_bytes == MTU_BYTES
+    assert packet.size_bits == MTU_BYTES * 8
+    assert packet.departure_time is None
+
+
+def test_packet_ids_unique():
+    assert Packet("a").packet_id != Packet("a").packet_id
+
+
+def test_packet_size_validation():
+    with pytest.raises(ValueError):
+        Packet("f", size_bytes=0)
+
+
+def test_flow_fifo_order():
+    flow = FlowQueue("f")
+    first, second = Packet("f"), Packet("f")
+    assert flow.push(first) is True      # was empty
+    assert flow.push(second) is False
+    assert flow.pop() is first
+    assert flow.pop() is second
+    assert flow.is_empty
+
+
+def test_flow_head_and_sizes():
+    flow = FlowQueue("f")
+    assert flow.head is None
+    assert flow.head_size() == 0
+    flow.push(Packet("f", size_bytes=700))
+    flow.push(Packet("f", size_bytes=100))
+    assert flow.head_size() == 700
+    assert flow.backlog_bytes == 800
+    assert len(flow) == 2
+
+
+def test_flow_statistics():
+    flow = FlowQueue("f")
+    flow.push(Packet("f", size_bytes=10))
+    flow.push(Packet("f", size_bytes=20))
+    flow.pop()
+    assert flow.packets_enqueued == 2
+    assert flow.packets_dequeued == 1
+    assert flow.bytes_enqueued == 30
+    assert flow.bytes_dequeued == 10
+
+
+def test_flow_weight_validation():
+    with pytest.raises(ValueError):
+        FlowQueue("f", weight=0)
+
+
+def test_flow_scheduling_state_is_per_flow():
+    a, b = FlowQueue("a"), FlowQueue("b")
+    a.state["finish_time"] = 4.2
+    assert "finish_time" not in b.state

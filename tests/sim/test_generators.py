@@ -1,0 +1,101 @@
+"""Tests for the traffic generators."""
+
+import random
+
+import pytest
+
+from repro.sim.events import Simulator
+from repro.sim.generators import (BackloggedSource, CbrGenerator,
+                                  OnOffGenerator, PoissonGenerator)
+from repro.sim.link import gbps
+
+
+class Collector:
+    def __init__(self):
+        self.packets = []
+
+    def __call__(self, flow_id, packet):
+        self.packets.append(packet)
+
+
+def test_cbr_generates_at_exact_rate():
+    sim = Simulator()
+    sink = Collector()
+    # 1500 B at 12 Mbps -> one packet per millisecond.
+    CbrGenerator(sim, "f", sink, rate_bps=12e6, size_bytes=1500).start(0.0)
+    sim.run_until(0.0105)
+    assert len(sink.packets) == 11  # t = 0, 1ms, ..., 10ms
+    gaps = [after.arrival_time - before.arrival_time
+            for before, after in zip(sink.packets, sink.packets[1:])]
+    assert all(gap == pytest.approx(1e-3) for gap in gaps)
+
+
+def test_cbr_respects_end_time():
+    sim = Simulator()
+    sink = Collector()
+    CbrGenerator(sim, "f", sink, rate_bps=12e6, size_bytes=1500,
+                 end_time=0.005).start(0.0)
+    sim.run_until(1.0)
+    assert len(sink.packets) == 5
+
+
+def test_poisson_mean_rate():
+    sim = Simulator()
+    sink = Collector()
+    rate = gbps(1)
+    PoissonGenerator(sim, "f", sink, rate_bps=rate, size_bytes=1500,
+                     rng=random.Random(1)).start(0.0)
+    sim.run_until(0.01)
+    achieved = len(sink.packets) * 1500 * 8 / 0.01
+    assert achieved == pytest.approx(rate, rel=0.15)
+
+
+def test_onoff_is_bursty():
+    sim = Simulator()
+    sink = Collector()
+    OnOffGenerator(sim, "f", sink, peak_rate_bps=gbps(1),
+                   on_seconds=1e-3, off_seconds=1e-3, size_bytes=1500,
+                   rng=random.Random(2)).start(0.0)
+    sim.run_until(0.02)
+    gaps = sorted(after.arrival_time - before.arrival_time
+                  for before, after in zip(sink.packets, sink.packets[1:]))
+    assert len(sink.packets) > 10
+    # On-period gaps are the serialization gap; off periods are far larger.
+    assert gaps[0] == pytest.approx(1500 * 8 / 1e9)
+    assert gaps[-1] > 10 * gaps[0]
+    # Long-run average well below the peak rate.
+    achieved = len(sink.packets) * 1500 * 8 / 0.02
+    assert achieved < 0.8 * gbps(1)
+
+
+def test_backlogged_source_maintains_depth():
+    sim = Simulator()
+    sink = Collector()
+    source = BackloggedSource(sim, "f", sink, depth=3)
+    source.start(0.0)
+    sim.run_until(0.0)
+    assert len(sink.packets) == 3
+    # Each departure triggers a refill.
+    sim.schedule(1.0, source.on_departure)
+    sim.run_until(1.0)
+    assert len(sink.packets) == 4
+
+
+def test_backlogged_source_stops_after_end_time():
+    sim = Simulator()
+    sink = Collector()
+    source = BackloggedSource(sim, "f", sink, depth=1, end_time=0.5)
+    source.start(0.0)
+    sim.run_until(0.0)
+    sim.schedule(1.0, source.on_departure)
+    sim.run_until(2.0)
+    assert len(sink.packets) == 1
+
+
+def test_generator_validation():
+    sim = Simulator()
+    sink = Collector()
+    with pytest.raises(ValueError):
+        CbrGenerator(sim, "f", sink, rate_bps=0)
+    with pytest.raises(ValueError):
+        BackloggedSource(sim, "f", sink, depth=0)

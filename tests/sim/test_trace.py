@@ -1,0 +1,61 @@
+"""Tests for CSV trace export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.sim.recorder import Recorder
+from repro.sim.trace import (departures_csv, save_trace, write_departures,
+                             write_flow_summary)
+
+
+@pytest.fixture
+def recorder():
+    recorder = Recorder()
+    recorder.record(0.0, "a", 1500, 1)
+    recorder.record(1.0, "b", 700, 2)
+    recorder.record(2.0, "a", 1500, 3)
+    return recorder
+
+
+def test_departures_csv_roundtrip(recorder):
+    rows = list(csv.DictReader(io.StringIO(departures_csv(recorder))))
+    assert len(rows) == 3
+    assert rows[0]["flow_id"] == "a"
+    assert float(rows[1]["time"]) == 1.0
+    assert int(rows[2]["packet_id"]) == 3
+
+
+def test_times_roundtrip_exactly(recorder):
+    """repr() formatting must preserve float timestamps bit-exactly."""
+    precise = Recorder()
+    precise.record(1 / 3, "f", 100, 0)
+    rows = list(csv.DictReader(io.StringIO(departures_csv(precise))))
+    assert float(rows[0]["time"]) == 1 / 3
+
+
+def test_flow_summary(recorder):
+    buffer = io.StringIO()
+    count = write_flow_summary(recorder, buffer, start=0.0, end=3.0)
+    assert count == 2
+    rows = {row["flow_id"]: row
+            for row in csv.DictReader(io.StringIO(buffer.getvalue()))}
+    assert int(rows["a"]["packets"]) == 2
+    assert int(rows["a"]["bytes"]) == 3000
+    assert float(rows["a"]["rate_bps"]) == pytest.approx(3000 * 8 / 3.0)
+    assert float(rows["b"]["first_departure"]) == 1.0
+
+
+def test_save_trace_files(tmp_path, recorder):
+    trace_path = tmp_path / "trace.csv"
+    summary_path = tmp_path / "summary.csv"
+    save_trace(recorder, str(trace_path), str(summary_path))
+    assert len(trace_path.read_text().splitlines()) == 4  # header + 3
+    assert len(summary_path.read_text().splitlines()) == 3
+
+
+def test_empty_recorder_export():
+    buffer = io.StringIO()
+    assert write_departures(Recorder(), buffer) == 0
+    assert write_flow_summary(Recorder(), io.StringIO()) == 0

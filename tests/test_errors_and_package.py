@@ -1,0 +1,47 @@
+"""Package-level tests: error hierarchy, version, and the public API."""
+
+import pytest
+
+import repro
+from repro.errors import (CapacityError, ConfigurationError,
+                          DuplicateFlowError, InvariantViolation,
+                          ReproError, SimulationError, UnknownFlowError)
+
+
+def test_all_errors_derive_from_repro_error():
+    for error_type in (CapacityError, ConfigurationError,
+                       DuplicateFlowError, InvariantViolation,
+                       SimulationError, UnknownFlowError):
+        assert issubclass(error_type, ReproError)
+        with pytest.raises(ReproError):
+            raise error_type("boom")
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_public_api_importable():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_doctest_in_package_docstring():
+    """The quickstart snippet in the package docstring actually works."""
+    import doctest
+    failures, _ = doctest.testmod(repro, verbose=False)
+    assert failures == 0
+
+
+def test_subpackage_alls_are_accurate():
+    import repro.analysis
+    import repro.baselines
+    import repro.core
+    import repro.experiments
+    import repro.hw
+    import repro.sched
+    import repro.sim
+    for module in (repro.analysis, repro.baselines, repro.core,
+                   repro.experiments, repro.hw, repro.sched, repro.sim):
+        for name in module.__all__:
+            assert hasattr(module, name), (module.__name__, name)
