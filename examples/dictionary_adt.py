@@ -8,12 +8,12 @@ hardware model, where every operation costs 4 clock cycles.
 Run:  python examples/dictionary_adt.py
 """
 
-from repro.core.pieo import PieoHardwareList
+from repro import make_list
 from repro.dictionary import PieoDict
 
 
 def main() -> None:
-    backend = PieoHardwareList(capacity=256)
+    backend = make_list("hardware", capacity=256)
     table = PieoDict(backend=backend)
 
     print("=== insert (keys kept sorted by the ordered list itself) ===")

@@ -9,12 +9,14 @@ priority queue (PIFO).
 Run:  python examples/quickstart.py
 """
 
-from repro import Element, PieoHardwareList, PifoHardwareList, ReferencePieo
+from repro import Element, PifoHardwareList, make_list
 
 
 def primitive_basics() -> None:
     print("=== PIEO primitive: enqueue(f) / dequeue() / dequeue(f) ===")
-    pieo = ReferencePieo()
+    # Ordered lists come from the backend registry; swap "reference" for
+    # "fast" (big simulations) or "hardware" (cycle accounting) freely.
+    pieo = make_list("reference")
 
     # Each element carries a programmable rank (scheduling order) and a
     # send_time encoding the predicate (current_time >= send_time).
@@ -52,7 +54,7 @@ def hardware_model() -> None:
     print("\n=== The Section 5 hardware design, cycle by cycle ===")
     # 64-element PIEO: sublists of ceil(sqrt(64)) = 8 elements, 16
     # sublists, pointer array in flip-flops, everything else in SRAM.
-    pieo = PieoHardwareList(capacity=64)
+    pieo = make_list("hardware", capacity=64)
     for index in range(40):
         pieo.enqueue(Element(f"flow{index}", rank=index % 10,
                              send_time=0))

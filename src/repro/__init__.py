@@ -2,23 +2,32 @@
 
 A complete Python reproduction of Shrivastav, SIGCOMM 2019: the PIEO
 (Push-In-Extract-Out) scheduling primitive, a cycle-accurate model of its
-O(sqrt(N)) hardware design, the PIFO and FIFO baselines, the programming
-framework with every scheduling algorithm from the paper, a discrete-event
-network substrate, and the full evaluation harness.
+O(sqrt(N)) hardware design, a fast software engine for big simulations,
+the PIFO and FIFO baselines, the programming framework with every
+scheduling algorithm from the paper, a discrete-event network substrate,
+and the full evaluation harness.
 
 Quickstart
 ----------
->>> from repro import Element, ReferencePieo
->>> pieo = ReferencePieo()
+>>> from repro import Element, make_list
+>>> pieo = make_list("fast")
 >>> pieo.enqueue(Element(flow_id="a", rank=10, send_time=5))
 >>> pieo.enqueue(Element(flow_id="b", rank=3, send_time=50))
 >>> pieo.dequeue(now=7).flow_id   # "b" has smaller rank but is ineligible
 'a'
+
+The same call with ``"reference"`` or ``"hardware"`` swaps in the
+semantic oracle or the cycle-accurate hardware model — see
+:mod:`repro.core.backends`.
 """
 
-from repro.core import (ALWAYS_ELIGIBLE, NEVER_ELIGIBLE, Element, OpCounters,
+from repro.core import (ALWAYS_ELIGIBLE, NEVER_ELIGIBLE, DEFAULT_BACKEND,
+                        BackendSpec, Element, FastPieo, Instrumentation,
+                        NullInstrumentation, NULL_INSTRUMENTATION, OpCounters,
                         OrderedList, PieoHardwareList, PieoList,
-                        PifoDesignPieoList, PifoHardwareList, ReferencePieo)
+                        PifoDesignPieoList, PifoHardwareList, ReferencePieo,
+                        available_backends, get_backend, make_factory,
+                        make_list, register_backend, unregister_backend)
 from repro.errors import (CapacityError, ConfigurationError,
                           DuplicateFlowError, InvariantViolation, ReproError,
                           SimulationError, UnknownFlowError)
@@ -30,12 +39,24 @@ __all__ = [
     "NEVER_ELIGIBLE",
     "Element",
     "OpCounters",
+    "Instrumentation",
+    "NullInstrumentation",
+    "NULL_INSTRUMENTATION",
     "OrderedList",
     "PieoHardwareList",
     "PieoList",
     "PifoDesignPieoList",
     "PifoHardwareList",
     "ReferencePieo",
+    "FastPieo",
+    "BackendSpec",
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "get_backend",
+    "make_factory",
+    "make_list",
+    "register_backend",
+    "unregister_backend",
     "CapacityError",
     "ConfigurationError",
     "DuplicateFlowError",

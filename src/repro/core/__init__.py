@@ -1,7 +1,15 @@
-"""Core scheduling primitives: elements, predicates, PIEO, and PIFO."""
+"""Core scheduling primitives: elements, predicates, PIEO, PIFO, and the
+ordered-list backend registry."""
 
+from repro.core.backends import (DEFAULT_BACKEND, BackendSpec,
+                                 available_backends, get_backend, make_factory,
+                                 make_list, register_backend,
+                                 unregister_backend)
 from repro.core.element import (ALWAYS_ELIGIBLE, NEVER_ELIGIBLE, Element,
                                 Rank, Time)
+from repro.core.fastlist import FastPieo
+from repro.core.instrumentation import (NULL_INSTRUMENTATION, Instrumentation,
+                                        NullInstrumentation)
 from repro.core.interfaces import OrderedList, PieoList
 from repro.core.opstats import OpCounters
 from repro.core.pieo import CYCLES_PER_OP, PieoHardwareList
@@ -18,10 +26,22 @@ __all__ = [
     "OrderedList",
     "PieoList",
     "OpCounters",
+    "Instrumentation",
+    "NullInstrumentation",
+    "NULL_INSTRUMENTATION",
     "CYCLES_PER_OP",
     "PieoHardwareList",
     "PIFO_CYCLES_PER_OP",
     "PifoDesignPieoList",
     "PifoHardwareList",
     "ReferencePieo",
+    "FastPieo",
+    "BackendSpec",
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "get_backend",
+    "make_factory",
+    "make_list",
+    "register_backend",
+    "unregister_backend",
 ]

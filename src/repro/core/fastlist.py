@@ -1,0 +1,238 @@
+"""Fast software PIEO engine: exact semantics, no hardware accounting.
+
+The reference oracle (:mod:`repro.core.reference`) pays a linear
+eligibility scan on every ``dequeue`` and the cycle-accurate model
+(:mod:`repro.core.pieo`) additionally pays per-operation cycle/SRAM
+charging — both are wasteful when a big simulation only needs the
+*meaning* of the ordered list.  :class:`FastPieo` is that meaning, made
+fast in software:
+
+* elements live in **rank-ordered chunks** (a classic unrolled sorted
+  list), so ``enqueue`` is a bisect into one small chunk instead of an
+  insert into one big array;
+* each chunk keeps a ``min_send`` summary — the smallest ``send_time``
+  of its residents — mirroring the hardware's per-sublist
+  ``smallest_send_time``; ``dequeue(now)`` skips whole chunks whose
+  summary proves nothing in them is eligible and only scans inside the
+  first chunk that can win;
+* ``dequeue(f)`` routes by the element's ``(rank, seq)`` key through two
+  bisects, never a search.
+
+Semantics are bit-for-bit those of :class:`repro.core.reference
+.ReferencePieo` (the differential property suite enforces this): FIFO
+tie-break on equal ranks, NULL returns, ``dequeue(f)`` ignoring
+eligibility, and the ``group_range`` logical-PIEO filter of Section 4.3.
+No :class:`~repro.core.opstats.OpCounters` charging happens anywhere on
+these paths — accounting belongs to the hardware models (see
+:mod:`repro.core.instrumentation`).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.core.element import Element, Time
+from repro.core.interfaces import PieoList
+from repro.errors import CapacityError, DuplicateFlowError
+
+#: Default soft chunk size; chunks split at twice this.  Around sqrt(N)
+#: for the simulation sizes this backend targets (1k-100k elements), and
+#: small enough that an in-chunk scan stays cheap.
+DEFAULT_CHUNK_SIZE = 64
+
+
+class _Chunk:
+    """One run of the rank order: parallel sorted keys/items, a plain
+    float list of send times (so eligibility scans and min recomputes
+    stay attribute-access free), and the min-send-time summary."""
+
+    __slots__ = ("keys", "items", "sends", "min_send")
+
+    def __init__(self, keys: List[Tuple], items: List[Element],
+                 sends: List[Time]) -> None:
+        self.keys = keys
+        self.items = items
+        self.sends = sends
+        self.min_send = min(sends) if sends else math.inf
+
+
+class FastPieo(PieoList):
+    """Index-accelerated software PIEO ordered list.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of resident elements; ``None`` (default) means
+        unbounded, for pure-software use.
+    chunk_size:
+        Soft chunk length.  Smaller chunks cheapen in-chunk scans and
+        inserts; larger chunks cheapen the cross-chunk summary walk.
+    """
+
+    def __init__(self, capacity: Optional[int] = None,
+                 chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if chunk_size < 2:
+            raise ValueError("chunk_size must be >= 2")
+        self._capacity = capacity
+        self._chunk_size = chunk_size
+        self._chunks: List[_Chunk] = []
+        self._tails: List[Tuple] = []  # last (rank, seq) key per chunk
+        self._resident: Dict[Hashable, Element] = {}
+        self._next_seq = 0
+
+    # ------------------------------------------------------------------
+    # OrderedList interface
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        if self._capacity is None:
+            return int(2 ** 62)
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def __contains__(self, flow_id: Hashable) -> bool:
+        return flow_id in self._resident
+
+    def snapshot(self) -> List[Element]:
+        elements: List[Element] = []
+        for chunk in self._chunks:
+            elements.extend(chunk.items)
+        return elements
+
+    def enqueue(self, element: Element) -> None:
+        if (self._capacity is not None
+                and len(self._resident) >= self._capacity):
+            raise CapacityError(f"FastPieo full (capacity {self._capacity})")
+        if element.flow_id in self._resident:
+            raise DuplicateFlowError(
+                f"flow {element.flow_id!r} already resident")
+        element.seq = self._next_seq
+        self._next_seq += 1
+        key = element.sort_key()
+        if not self._chunks:
+            self._chunks.append(_Chunk([key], [element],
+                                       [element.send_time]))
+            self._tails.append(key)
+        else:
+            index = bisect_left(self._tails, key)
+            if index == len(self._chunks):
+                index -= 1  # beyond every tail: append to the last chunk
+            chunk = self._chunks[index]
+            position = bisect_left(chunk.keys, key)
+            chunk.keys.insert(position, key)
+            chunk.items.insert(position, element)
+            chunk.sends.insert(position, element.send_time)
+            if element.send_time < chunk.min_send:
+                chunk.min_send = element.send_time
+            if position == len(chunk.keys) - 1:
+                self._tails[index] = key
+            if len(chunk.keys) >= 2 * self._chunk_size:
+                self._split(index)
+        self._resident[element.flow_id] = element
+
+    def dequeue_flow(self, flow_id: Hashable) -> Optional[Element]:
+        element = self._resident.get(flow_id)
+        if element is None:
+            return None
+        index, position = self._locate(element)
+        return self._pop(index, position)
+
+    # ------------------------------------------------------------------
+    # PieoList interface
+    # ------------------------------------------------------------------
+    def dequeue(self, now: Time,
+                group_range: Optional[Tuple[int, int]] = None,
+                ) -> Optional[Element]:
+        found = self._first_eligible(now, group_range)
+        if found is None:
+            return None
+        index, position = found
+        return self._pop(index, position)
+
+    def peek(self, now: Time,
+             group_range: Optional[Tuple[int, int]] = None,
+             ) -> Optional[Element]:
+        found = self._first_eligible(now, group_range)
+        if found is None:
+            return None
+        index, position = found
+        return self._chunks[index].items[position]
+
+    def min_send_time(self) -> Time:
+        smallest = math.inf
+        for chunk in self._chunks:
+            if chunk.min_send < smallest:
+                smallest = chunk.min_send
+        return smallest
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _first_eligible(self, now: Time,
+                        group_range: Optional[Tuple[int, int]],
+                        ) -> Optional[Tuple[int, int]]:
+        """(chunk index, in-chunk position) of the smallest-keyed eligible
+        element.  Chunks are disjoint ranges of the total (rank, seq)
+        order, so the first chunk containing any eligible element
+        contains *the* winner."""
+        if group_range is None:
+            for index, chunk in enumerate(self._chunks):
+                if chunk.min_send > now:
+                    continue
+                for position, send in enumerate(chunk.sends):
+                    if send <= now:
+                        return index, position
+            return None
+        lo, hi = group_range
+        for index, chunk in enumerate(self._chunks):
+            if chunk.min_send > now:
+                continue
+            items = chunk.items
+            for position, send in enumerate(chunk.sends):
+                if send <= now and lo <= items[position].group <= hi:
+                    return index, position
+        return None
+
+    def _locate(self, element: Element) -> Tuple[int, int]:
+        """Route a resident element to (chunk index, position) through its
+        unique (rank, seq) key."""
+        key = element.sort_key()
+        index = bisect_left(self._tails, key)
+        chunk = self._chunks[index]
+        position = bisect_left(chunk.keys, key)
+        return index, position
+
+    def _pop(self, index: int, position: int) -> Element:
+        chunk = self._chunks[index]
+        element = chunk.items.pop(position)
+        chunk.keys.pop(position)
+        send = chunk.sends.pop(position)
+        del self._resident[element.flow_id]
+        if not chunk.items:
+            del self._chunks[index]
+            del self._tails[index]
+        else:
+            if position == len(chunk.keys):
+                self._tails[index] = chunk.keys[-1]
+            if send <= chunk.min_send:
+                chunk.min_send = min(chunk.sends)
+        return element
+
+    def _split(self, index: int) -> None:
+        chunk = self._chunks[index]
+        middle = len(chunk.keys) // 2
+        right = _Chunk(chunk.keys[middle:], chunk.items[middle:],
+                       chunk.sends[middle:])
+        del chunk.keys[middle:]
+        del chunk.items[middle:]
+        del chunk.sends[middle:]
+        chunk.min_send = min(chunk.sends)
+        self._chunks.insert(index + 1, right)
+        self._tails[index] = chunk.keys[-1]
+        self._tails.insert(index + 1, right.keys[-1])

@@ -17,11 +17,11 @@ demonstrates the a <= key <= b filter.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterator, List, Optional, Tuple
+from typing import Any, Hashable, Iterator, List, Optional, Tuple, Union
 
+from repro.core.backends import DEFAULT_BACKEND, make_list
 from repro.core.element import ALWAYS_ELIGIBLE, Element
 from repro.core.interfaces import PieoList
-from repro.core.reference import ReferencePieo
 from repro.errors import CapacityError
 
 
@@ -35,13 +35,19 @@ class PieoDict:
     Parameters
     ----------
     backend:
-        Optional :class:`PieoList` to store entries in — pass a
-        :class:`repro.core.PieoHardwareList` to run the dictionary on the
-        cycle-accurate hardware model.
+        Either a backend *name* resolved through
+        :mod:`repro.core.backends` (``"reference"``, ``"hardware"``,
+        ``"fast"``, ...) or an explicit :class:`PieoList` instance to
+        store entries in.  Pass ``"hardware"`` to run the dictionary on
+        the cycle-accurate hardware model.
     """
 
-    def __init__(self, backend: Optional[PieoList] = None) -> None:
-        self._list = backend if backend is not None else ReferencePieo()
+    def __init__(self,
+                 backend: Union[str, PieoList, None] = None) -> None:
+        if backend is None:
+            backend = DEFAULT_BACKEND
+        self._list = (make_list(backend) if isinstance(backend, str)
+                      else backend)
 
     # -- dict protocol ------------------------------------------------------
     def __len__(self) -> int:

@@ -26,7 +26,9 @@ from repro.experiments.pipeline_rate import pipeline_table
 from repro.experiments.runner import Table
 from repro.experiments.scalability import scalability_table
 from repro.experiments.scheduling_rate import (measured_cycles_per_op,
-                                               rate_table)
+                                               rate_table,
+                                               software_ops_per_sec,
+                                               software_rate_table)
 
 __all__ = [
     "sublist_ablation_table",
@@ -48,6 +50,8 @@ __all__ = [
     "scalability_table",
     "measured_cycles_per_op",
     "rate_table",
+    "software_ops_per_sec",
+    "software_rate_table",
     "all_tables",
 ]
 

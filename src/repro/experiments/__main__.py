@@ -2,12 +2,23 @@
 
 Usage::
 
-    python -m repro.experiments            # everything
-    python -m repro.experiments fig11      # one experiment by keyword
+    python -m repro.experiments                  # everything
+    python -m repro.experiments fig11            # one experiment by keyword
+    python -m repro.experiments --backend fast rate
+    python -m repro.experiments --list-backends
+
+``--backend`` selects the ordered-list engine (from the
+:mod:`repro.core.backends` registry) for the experiments that exercise a
+software list: the Fig. 2 expressiveness replay and the software
+scheduling-rate table.  The cycle-accurate figures (fig8-fig10, the
+ablations) always run on the ``"hardware"`` model — their entire point is
+the accounting.
 """
 
 from __future__ import annotations
 
+import argparse
+import inspect
 import sys
 
 from repro.experiments import (alms_table, all_nodes_table,
@@ -16,7 +27,8 @@ from repro.experiments import (alms_table, all_nodes_table,
                                fair_queue_table, pipeline_table,
                                rate_limit_table, rate_table,
                                scalability_table,
-                               shaping_comparison_table, sram_table,
+                               shaping_comparison_table,
+                               software_rate_table, sram_table,
                                structure_comparison_table,
                                sublist_ablation_table,
                                trigger_ablation_table)
@@ -28,7 +40,7 @@ EXPERIMENTS = {
     "fig10": (clock_table,),
     "fig11": (rate_limit_table, all_nodes_table),
     "fig12": (fair_queue_table,),
-    "rate": (rate_table,),
+    "rate": (rate_table, software_rate_table),
     "scalability": (scalability_table,),
     "ablation": (sublist_ablation_table, approx_structures_table,
                  trigger_ablation_table),
@@ -46,9 +58,48 @@ def _print_charts() -> None:
         print()
 
 
+def _call(table_fn, backend):
+    """Pass ``backend`` only to experiments that accept it, so the
+    cycle-accurate tables stay untouched by the flag."""
+    if (backend is not None
+            and "backend" in inspect.signature(table_fn).parameters):
+        return table_fn(backend=backend)
+    return table_fn()
+
+
 def main(argv) -> int:
     """CLI entry point: print the selected (or all) experiments."""
-    keys = argv[1:] if len(argv) > 1 else list(EXPERIMENTS) + ["charts"]
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures and tables.")
+    parser.add_argument(
+        "keys", nargs="*",
+        help=f"experiments to run: {', '.join(EXPERIMENTS)}, charts "
+             "(default: all)")
+    parser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="ordered-list backend for software-list experiments "
+             "(see --list-backends)")
+    parser.add_argument(
+        "--list-backends", action="store_true",
+        help="list registered ordered-list backends and exit")
+    args = parser.parse_args(argv[1:])
+
+    if args.list_backends:
+        from repro.core.backends import available_backends, get_backend
+        for name in available_backends():
+            print(f"{name:12s} {get_backend(name).description}")
+        return 0
+    if args.backend is not None:
+        from repro.core.backends import get_backend
+        from repro.errors import ConfigurationError
+        try:
+            get_backend(args.backend)  # fail fast on unknown names
+        except ConfigurationError as error:
+            print(error)
+            return 2
+
+    keys = args.keys if args.keys else list(EXPERIMENTS) + ["charts"]
     for key in keys:
         if key == "charts":
             _print_charts()
@@ -58,7 +109,7 @@ def main(argv) -> int:
                   f"{', '.join(EXPERIMENTS)}, charts")
             return 2
         for table_fn in EXPERIMENTS[key]:
-            print(table_fn().to_text())
+            print(_call(table_fn, args.backend).to_text())
             print()
     return 0
 

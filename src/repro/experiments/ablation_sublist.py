@@ -13,6 +13,7 @@ import math
 import random
 from typing import Sequence
 
+from repro.core.backends import make_list
 from repro.core.element import Element
 from repro.core.pieo import PieoHardwareList, default_sublist_size
 from repro.experiments.runner import Table
@@ -22,7 +23,8 @@ from repro.hw.resources import ALMS_PER_LANE, pieo_lanes
 def _exercise(capacity: int, sublist_size: int, operations: int,
               seed: int) -> PieoHardwareList:
     rng = random.Random(seed)
-    pieo = PieoHardwareList(capacity, sublist_size=sublist_size)
+    pieo = make_list("hardware", capacity=capacity,
+                     sublist_size=sublist_size)
     next_flow = 0
     for _ in range(operations):
         if len(pieo) < capacity and (len(pieo) == 0 or rng.random() < 0.55):

@@ -19,9 +19,9 @@ from typing import List, Sequence
 from repro.analysis.deviation import kendall_tau_distance, max_deviation
 from repro.baselines.approximate import (CalendarQueue, MultiPriorityFifo,
                                          TimingWheel)
+from repro.core.backends import make_list
 from repro.core.element import Element
 from repro.core.interfaces import PieoList
-from repro.core.reference import ReferencePieo
 from repro.experiments.runner import Table
 
 RANK_SPACE = 1_000.0
@@ -69,7 +69,8 @@ def approx_structures_table(size: int = 200, seed: int = 5,
     # Serve at ~half the mean eligibility rate so a backlog forms while
     # elements are still being released.
     service_interval = TIME_SPACE / size * 2
-    ideal = _service_order(ReferencePieo(), elements, service_interval)
+    ideal = _service_order(make_list("reference"), elements,
+                           service_interval)
     table = Table(
         title=(f"Approximate structures vs exact PIEO "
                f"({size} elements, random ranks/send-times)"),

@@ -16,9 +16,9 @@ from repro.analysis.deviation import max_deviation, mean_deviation
 from repro.baselines.pifo_wf2q import (HeadPacket, ideal_wf2q_order,
                                        paper_example, single_pifo_order,
                                        two_pifo_order)
+from repro.core.backends import make_list
 from repro.core.element import Element
 from repro.core.interfaces import PieoList
-from repro.core.reference import ReferencePieo
 from repro.experiments.runner import Table
 
 
@@ -28,7 +28,8 @@ def pieo_order(packets: Sequence[HeadPacket],
     """Replay the example through an actual PIEO ordered list:
     rank = finish time, send_time = start time, dequeue at virtual time.
     """
-    pieo = list_factory() if list_factory is not None else ReferencePieo()
+    pieo = (list_factory() if list_factory is not None
+            else make_list("reference"))
     lengths: Dict[str, float] = {}
     for packet in packets:
         lengths[packet.name] = packet.length
@@ -114,9 +115,18 @@ def deviation_sweep(sizes: Sequence[int] = (8, 16, 32, 64, 128, 256),
     return table
 
 
-def example_table() -> Table:
-    """The Fig. 2(c)-(e) orders as a table."""
-    orders = run_paper_example()
+def example_table(backend: Optional[str] = None) -> Table:
+    """The Fig. 2(c)-(e) orders as a table.
+
+    ``backend`` replays the PIEO series on any registered ordered-list
+    backend (every backend reproduces the same order — that is the
+    point of the conformance matrix).
+    """
+    list_factory = None
+    if backend is not None:
+        from repro.core.backends import make_factory
+        list_factory = make_factory(backend)
+    orders = run_paper_example(list_factory)
     table = Table(
         title="Fig. 2(c)-(e): scheduling orders on the example system",
         headers=["design", "order", "max_deviation_vs_ideal"],

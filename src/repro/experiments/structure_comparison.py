@@ -11,10 +11,8 @@ from __future__ import annotations
 
 import random
 
-from repro.baselines.pheap import PHeap
+from repro.core.backends import make_list
 from repro.core.element import Element
-from repro.core.pieo import PieoHardwareList
-from repro.core.pifo import PifoDesignPieoList
 from repro.experiments.runner import Table
 
 
@@ -65,11 +63,11 @@ def structure_comparison_table(size: int = 1024,
     )
     rows = [
         ("pieo (sqrt-N design)",
-         lambda: PieoHardwareList(size), "O(sqrt N)"),
+         lambda: make_list("hardware", capacity=size), "O(sqrt N)"),
         ("pifo-design pieo (flip-flops)",
-         lambda: PifoDesignPieoList(size), "O(N)"),
+         lambda: make_list("pifo-design", capacity=size), "O(N)"),
         ("p-heap",
-         lambda: PHeap(size), "O(log N)"),
+         lambda: make_list("pheap", capacity=size), "O(log N)"),
     ]
     for name, factory, comparators in rows:
         cells = []

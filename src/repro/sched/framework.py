@@ -19,9 +19,9 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Hashable, List, Optional
 
+from repro.core.backends import DEFAULT_BACKEND, make_list
 from repro.core.element import ALWAYS_ELIGIBLE, Element, Rank, Time
 from repro.core.interfaces import PieoList
-from repro.core.reference import ReferencePieo
 from repro.errors import (ConfigurationError, SimulationError,
                           UnknownFlowError)
 from repro.sched.base import SchedulingAlgorithm, TimeBase, TriggerModel
@@ -125,11 +125,14 @@ class PieoScheduler:
     algorithm:
         The scheduling policy (programming functions).
     ordered_list:
-        Any :class:`repro.core.interfaces.PieoList`; defaults to a
-        software :class:`ReferencePieo`.  Pass a
-        :class:`repro.core.PieoHardwareList` to co-simulate the hardware
-        design, or a :class:`repro.core.PifoDesignPieoList` for the
-        footnote-7 variant.
+        An explicit :class:`repro.core.interfaces.PieoList` instance.
+        Usually left unset in favour of ``backend``.
+    backend:
+        Ordered-list backend name resolved through
+        :mod:`repro.core.backends` (``"reference"``, ``"hardware"``,
+        ``"fast"``, ...).  Defaults to the registry default; mutually
+        exclusive with ``ordered_list``.  ``backend_config`` carries
+        backend-specific options (e.g. ``{"sublist_size": 8}``).
     trigger:
         Input- or output-triggered Pre-Enqueue (Section 3.2.1).
     link_rate_bps:
@@ -140,12 +143,19 @@ class PieoScheduler:
     def __init__(self, algorithm: SchedulingAlgorithm,
                  ordered_list: Optional[PieoList] = None,
                  trigger: TriggerModel = TriggerModel.OUTPUT,
-                 link_rate_bps: float = 40e9) -> None:
+                 link_rate_bps: float = 40e9,
+                 backend: Optional[str] = None,
+                 backend_config: Optional[Dict] = None) -> None:
         if link_rate_bps <= 0:
             raise ConfigurationError("link_rate_bps must be positive")
+        if ordered_list is not None and backend is not None:
+            raise ConfigurationError(
+                "pass either ordered_list or backend, not both")
         self.algorithm = algorithm
-        self.ordered_list: PieoList = (
-            ReferencePieo() if ordered_list is None else ordered_list)
+        if ordered_list is None:
+            ordered_list = make_list(backend or DEFAULT_BACKEND,
+                                     **(backend_config or {}))
+        self.ordered_list: PieoList = ordered_list
         self.trigger = trigger
         self.link_rate_bps = link_rate_bps
         self.flows: Dict[Hashable, FlowQueue] = {}

@@ -31,9 +31,9 @@ import itertools
 import math
 from typing import Dict, Hashable, List, Optional, Tuple
 
+from repro.core.backends import DEFAULT_BACKEND, make_factory
 from repro.core.element import Element, Time
 from repro.core.interfaces import PieoList
-from repro.core.reference import ReferencePieo
 from repro.errors import ConfigurationError
 from repro.sched.base import SchedulingAlgorithm, TimeBase
 from repro.sched.framework import PieoScheduler, SchedulerContext
@@ -184,8 +184,13 @@ class HierarchicalScheduler:
         Output link rate.
     list_factory:
         Callable ``(capacity) -> PieoList`` used for each level's physical
-        PIEO (e.g. ``PieoHardwareList`` for hardware co-simulation).
-        Defaults to the software reference list.
+        PIEO.  Usually left unset in favour of ``backend``.
+    backend:
+        Ordered-list backend name resolved through
+        :mod:`repro.core.backends` (``"reference"``, ``"hardware"``,
+        ``"fast"``, ...), with backend-specific options in
+        ``backend_config``.  Mutually exclusive with ``list_factory``;
+        defaults to the registry default.
 
     Exposes the same interface as
     :class:`~repro.sched.framework.PieoScheduler` (``on_arrival`` /
@@ -194,10 +199,15 @@ class HierarchicalScheduler:
     """
 
     def __init__(self, root: SchedNode, link_rate_bps: float = 40e9,
-                 list_factory=None) -> None:
+                 list_factory=None, backend: Optional[str] = None,
+                 backend_config: Optional[Dict] = None) -> None:
+        if list_factory is not None and backend is not None:
+            raise ConfigurationError(
+                "pass either list_factory or backend, not both")
         self.root = root
         self.link_rate_bps = link_rate_bps
-        self._list_factory = list_factory or (lambda _cap: ReferencePieo())
+        self._list_factory = list_factory or make_factory(
+            backend or DEFAULT_BACKEND, **(backend_config or {}))
         self._group_ids = itertools.count()
         #: One shared physical PIEO per non-leaf level (index = depth).
         self.level_lists: List[PieoList] = []

@@ -12,8 +12,8 @@ be expressed on a single PIFO (Fig. 2).  On PIEO it is four lines:
 
 Virtual time (Fig. 2a)::
 
-    f.start_time  = max(f.finish_time, virtual_time)   # arrival to empty queue
-                  = f.finish_time                      # re-enqueue after dequeue
+    f.start_time  = max(f.finish_time, virtual_time)  # arrival, empty queue
+                  = f.finish_time                     # re-enqueue on dequeue
     f.finish_time = f.start_time + L / r
     virtual_time(t + x) = max(virtual_time(t) + x,
                               min over backlogged f of f.start_time)

@@ -80,6 +80,13 @@ class TransmitEngine:
         self._arm_retry(now)
 
     def _transmit_batch(self, packets: List[Packet], now: float) -> None:
+        # A retry timer armed for a now-stale eligibility instant must not
+        # survive a transmission: the batch itself re-kicks the loop, and
+        # a stale wakeup would double-kick the scheduler (observable as a
+        # spurious extra schedule() probe between batches).
+        if self._retry_handle is not None:
+            self._retry_handle.cancel()
+            self._retry_handle = None
         start = now
         for packet in packets:
             finish = self.link.transmit(packet, start)
@@ -104,4 +111,11 @@ class TransmitEngine:
             # nothing (e.g. empty logical partition); avoid livelock by
             # waiting for the next arrival.
             return
-        self._retry_handle = self.sim.schedule(wake_at, self.kick)
+        self._retry_handle = self.sim.schedule(wake_at, self._on_retry)
+
+    def _on_retry(self) -> None:
+        """The armed retry timer fired: it is spent, so drop the handle
+        before kicking (otherwise a later cancel() would be a no-op on a
+        dead event while a fresh timer goes untracked)."""
+        self._retry_handle = None
+        self.kick()

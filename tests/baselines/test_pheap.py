@@ -2,7 +2,6 @@
 (Extract-Out cost grows with ineligible population; PIEO's does not)."""
 
 import math
-import random
 
 import hypothesis.strategies as st
 from hypothesis import given, settings

@@ -6,10 +6,15 @@ import random
 
 import pytest
 
-from repro.baselines.pheap import PHeap
-from repro.core.pieo import PieoHardwareList
-from repro.core.pifo import PifoDesignPieoList
-from repro.core.reference import ReferencePieo
+from repro.core.backends import available_backends, make_factory
+
+#: Per-backend config for the conformance matrix.  The hardware model
+#: runs with its structural self-checks on so every interface-level test
+#: doubles as an invariant test.
+_FIXTURE_CONFIG = {"hardware": {"self_check": True}}
+
+_FACTORIES = [(name, make_factory(name, **_FIXTURE_CONFIG.get(name, {})))
+              for name in available_backends()]
 
 
 @pytest.fixture
@@ -17,26 +22,12 @@ def rng():
     return random.Random(0xC0FFEE)
 
 
-def _reference(capacity):
-    return ReferencePieo(capacity)
-
-
-def _hardware(capacity):
-    return PieoHardwareList(capacity, self_check=True)
-
-
-def _pifo_design(capacity):
-    return PifoDesignPieoList(capacity)
-
-
-def _pheap(capacity):
-    return PHeap(capacity)
-
-
-@pytest.fixture(params=[_reference, _hardware, _pifo_design, _pheap],
-                ids=["reference", "hardware", "pifo-design", "p-heap"])
+@pytest.fixture(params=[factory for _, factory in _FACTORIES],
+                ids=[name for name, _ in _FACTORIES])
 def pieo_factory(request):
-    """Every PIEO-semantics implementation, for interface-level tests.
+    """Every registered PIEO-semantics backend, for interface-level
+    tests — the conformance matrix follows the registry, so extension
+    backends registered at import time are covered automatically.
 
     The P-heap is included because its *semantics* match PIEO exactly —
     only its Extract-Out cost differs (Section 7)."""

@@ -6,8 +6,7 @@ from repro.errors import ConfigurationError
 from repro.sched import (ControlPlane, PieoScheduler, StrictPriority,
                          TokenBucket, WeightedFairQueuing)
 from repro.sched.base import TriggerModel
-from repro.sim import (FlowQueue, Link, Packet, Simulator, TransmitEngine,
-                       gbps)
+from repro.sim import FlowQueue, Packet, gbps
 
 from .helpers import FlatRun
 

@@ -1,7 +1,5 @@
 """Tests for the priority schedulers (Section 4.5)."""
 
-import pytest
-
 from repro.sched import (EarliestDeadlineFirst, LeastSlackTimeFirst,
                          PieoScheduler, ShortestJobFirst,
                          ShortestRemainingTimeFirst, StrictPriority)

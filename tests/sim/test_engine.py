@@ -94,3 +94,65 @@ def test_link_never_overcommitted():
     elapsed = engine.recorder.departures[-1].time
     achieved = engine.recorder.aggregate_rate_bps(0.0, elapsed + 12e-6)
     assert achieved <= 1e9 * 1.001
+
+
+def test_transmit_batch_cancels_armed_retry():
+    """Contract: a transmission retires any armed retry timer.  A stale
+    wakeup surviving a batch would double-kick the scheduler."""
+    sim = Simulator()
+    engine = TransmitEngine(sim, FifoScheduler(), Link(gbps(1)))
+    stale = sim.schedule(0.5, engine.kick)
+    engine._retry_handle = stale
+    engine._transmit_batch([Packet("f")], sim.now)
+    assert stale.cancelled
+    assert engine._retry_handle is None
+
+
+def test_retry_handle_cleared_after_natural_fire():
+    """Once the retry timer fires it is spent: the engine must drop the
+    handle so a later cancel() cannot hit a dead event while a fresh
+    timer goes untracked."""
+    sim = Simulator()
+    link = Link(gbps(10))
+    scheduler = PieoScheduler(TokenBucket(default_burst_bytes=1500),
+                              link_rate_bps=link.rate_bps)
+    scheduler.add_flow(FlowQueue("f", rate_bps=1e6))
+    engine = TransmitEngine(sim, scheduler, link)
+    engine.arrival_sink("f", Packet("f"))
+    engine.arrival_sink("f", Packet("f"))  # waits a 12 ms token refill
+    sim.run_until(0.005)
+    assert engine._retry_handle is not None  # armed for the refill
+    sim.run_until(0.1)
+    assert engine._retry_handle is None  # fired, transmitted, cleared
+    assert len(engine.recorder) == 2
+
+
+def test_stale_retry_does_not_double_probe_scheduler():
+    """An arrival landing while a retry is armed must not leave the old
+    timer around to probe schedule() a second time at the stale instant."""
+    sim = Simulator()
+    link = Link(gbps(10))
+    scheduler = PieoScheduler(TokenBucket(default_burst_bytes=1500),
+                              link_rate_bps=link.rate_bps)
+    scheduler.add_flow(FlowQueue("slow", rate_bps=1e6))
+    scheduler.add_flow(FlowQueue("burst", rate_bps=1e9))
+    probes = []
+    original = scheduler.schedule
+
+    def counting_schedule(now):
+        probes.append(now)
+        return original(now)
+
+    scheduler.schedule = counting_schedule
+    engine = TransmitEngine(sim, scheduler, link)
+    engine.arrival_sink("slow", Packet("slow"))
+    engine.arrival_sink("slow", Packet("slow"))  # arms a ~12 ms retry
+    sim.run_until(0.005)
+    assert engine._retry_handle is not None
+    stale = engine._retry_handle
+    engine.arrival_sink("burst", Packet("burst"))  # transmits immediately
+    sim.run_until(0.1)
+    assert stale.cancelled  # batch retired the stale timer
+    assert len(engine.recorder) == 3
+    # Each probe instant appears once: no double-kick at the stale time.
+    assert len(probes) == len(set(probes))
