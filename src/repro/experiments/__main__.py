@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments fig11            # one experiment by keyword
     python -m repro.experiments --backend fast rate
     python -m repro.experiments --list-backends
+    python -m repro.experiments fig11 --trace t.jsonl --metrics m.json
 
 ``--backend`` selects the ordered-list engine (from the
 :mod:`repro.core.backends` registry) for the experiments that exercise a
@@ -13,6 +14,13 @@ software list: the Fig. 2 expressiveness replay and the software
 scheduling-rate table.  The cycle-accurate figures (fig8-fig10, the
 ablations) always run on the ``"hardware"`` model — their entire point is
 the accounting.
+
+``--trace FILE`` streams structured events (JSONL, one JSON object per
+line) from every simulation-driven experiment that supports
+observability (fig11, fig12); ``--metrics FILE`` writes the aggregated
+counters/gauges/histograms as JSON after the run.  ``--duration SECONDS``
+overrides the simulated duration of those experiments (handy for quick
+traced runs).
 """
 
 from __future__ import annotations
@@ -58,13 +66,20 @@ def _print_charts() -> None:
         print()
 
 
-def _call(table_fn, backend):
-    """Pass ``backend`` only to experiments that accept it, so the
-    cycle-accurate tables stay untouched by the flag."""
-    if (backend is not None
-            and "backend" in inspect.signature(table_fn).parameters):
-        return table_fn(backend=backend)
-    return table_fn()
+def _call(table_fn, backend, tracer=None, metrics=None, duration=None):
+    """Pass each option only to experiments that accept it, so the
+    cycle-accurate tables stay untouched by the flags."""
+    parameters = inspect.signature(table_fn).parameters
+    kwargs = {}
+    if backend is not None and "backend" in parameters:
+        kwargs["backend"] = backend
+    if tracer is not None and "tracer" in parameters:
+        kwargs["tracer"] = tracer
+    if metrics is not None and "metrics" in parameters:
+        kwargs["metrics"] = metrics
+    if duration is not None and "duration" in parameters:
+        kwargs["duration"] = duration
+    return table_fn(**kwargs)
 
 
 def main(argv) -> int:
@@ -83,6 +98,18 @@ def main(argv) -> int:
     parser.add_argument(
         "--list-backends", action="store_true",
         help="list registered ordered-list backends and exit")
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="stream structured trace events (JSONL) from "
+             "observability-aware experiments to FILE")
+    parser.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="write aggregated metrics (JSON) from observability-aware "
+             "experiments to FILE")
+    parser.add_argument(
+        "--duration", default=None, type=float, metavar="SECONDS",
+        help="override the simulated duration of simulation-driven "
+             "experiments")
     args = parser.parse_args(argv[1:])
 
     if args.list_backends:
@@ -98,19 +125,42 @@ def main(argv) -> int:
         except ConfigurationError as error:
             print(error)
             return 2
+    if args.duration is not None and args.duration <= 0:
+        print(f"--duration must be positive, got {args.duration}")
+        return 2
+
+    tracer = None
+    metrics = None
+    if args.trace is not None:
+        from repro.obs import Tracer
+        tracer = Tracer.open_jsonl(args.trace)
+    if args.metrics is not None:
+        from repro.obs import MetricsRegistry
+        metrics = MetricsRegistry()
 
     keys = args.keys if args.keys else list(EXPERIMENTS) + ["charts"]
-    for key in keys:
-        if key == "charts":
-            _print_charts()
-            continue
-        if key not in EXPERIMENTS:
-            print(f"unknown experiment {key!r}; choose from "
-                  f"{', '.join(EXPERIMENTS)}, charts")
-            return 2
-        for table_fn in EXPERIMENTS[key]:
-            print(_call(table_fn, args.backend).to_text())
-            print()
+    try:
+        for key in keys:
+            if key == "charts":
+                _print_charts()
+                continue
+            if key not in EXPERIMENTS:
+                print(f"unknown experiment {key!r}; choose from "
+                      f"{', '.join(EXPERIMENTS)}, charts")
+                return 2
+            for table_fn in EXPERIMENTS[key]:
+                print(_call(table_fn, args.backend, tracer=tracer,
+                            metrics=metrics,
+                            duration=args.duration).to_text())
+                print()
+    finally:
+        if tracer is not None:
+            tracer.close()
+            print(f"trace: {tracer.emitted} events -> {args.trace}",
+                  file=sys.stderr)
+        if metrics is not None:
+            metrics.write_json(args.metrics)
+            print(f"metrics -> {args.metrics}", file=sys.stderr)
     return 0
 
 

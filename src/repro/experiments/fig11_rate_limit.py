@@ -22,8 +22,13 @@ DEFAULT_SWEEP_GBPS = (0.5, 1.0, 2.0, 4.0, 6.0, 8.0)
 
 def rate_limit_table(sweep_gbps: Sequence[float] = DEFAULT_SWEEP_GBPS,
                      duration: float = 0.02,
-                     node_index: int = SAMPLED_NODE) -> Table:
-    """Fig. 11's sweep: configured vs achieved rate on one node."""
+                     node_index: int = SAMPLED_NODE,
+                     tracer=None, metrics=None) -> Table:
+    """Fig. 11's sweep: configured vs achieved rate on one node.
+
+    ``tracer``/``metrics`` observe every simulation in the sweep; a
+    ``mark`` event delimits each sweep point in the trace stream.
+    """
     table = Table(
         title=(f"Fig. 11: rate-limit enforcement on node n{node_index} "
                "(Token Bucket at level 2)"),
@@ -33,7 +38,11 @@ def rate_limit_table(sweep_gbps: Sequence[float] = DEFAULT_SWEEP_GBPS,
     for target in sweep_gbps:
         rates = default_node_rates()
         rates[node_index] = target
-        run = run_hierarchy(rates, duration=duration)
+        if tracer is not None:
+            tracer.mark(0.0, "fig11.sweep", configured_gbps=target,
+                        node=f"n{node_index}")
+        run = run_hierarchy(rates, duration=duration,
+                            tracer=tracer, metrics=metrics)
         achieved = run.node_rates_bps.get(f"n{node_index}", 0.0) / 1e9
         error = abs(achieved - target) / target * 100.0
         worst = max(worst, error)
@@ -44,10 +53,14 @@ def rate_limit_table(sweep_gbps: Sequence[float] = DEFAULT_SWEEP_GBPS,
     return table
 
 
-def all_nodes_table(duration: float = 0.02) -> Table:
+def all_nodes_table(duration: float = 0.02,
+                    tracer=None, metrics=None) -> Table:
     """Enforcement across *all* ten nodes simultaneously."""
     rates = default_node_rates()
-    run = run_hierarchy(rates, duration=duration)
+    if tracer is not None:
+        tracer.mark(0.0, "fig11.all_nodes")
+    run = run_hierarchy(rates, duration=duration,
+                        tracer=tracer, metrics=metrics)
     table = Table(
         title="Fig. 11 (companion): simultaneous enforcement, all nodes",
         headers=["node", "configured_gbps", "achieved_gbps", "error_pct"],

@@ -23,8 +23,13 @@ DEFAULT_SWEEP_GBPS = (0.5, 1.0, 2.0, 4.0, 8.0)
 def fair_queue_table(sweep_gbps: Sequence[float] = DEFAULT_SWEEP_GBPS,
                      duration: float = 0.02,
                      node_index: int = SAMPLED_NODE,
-                     flow_weights: Optional[List[float]] = None) -> Table:
-    """Fig. 12's sweep: per-flow shares inside the sampled node."""
+                     flow_weights: Optional[List[float]] = None,
+                     tracer=None, metrics=None) -> Table:
+    """Fig. 12's sweep: per-flow shares inside the sampled node.
+
+    ``tracer``/``metrics`` observe every simulation in the sweep; a
+    ``mark`` event delimits each sweep point in the trace stream.
+    """
     weighted = flow_weights is not None
     table = Table(
         title=(f"Fig. 12: fair-queue enforcement inside node "
@@ -36,8 +41,12 @@ def fair_queue_table(sweep_gbps: Sequence[float] = DEFAULT_SWEEP_GBPS,
     for target in sweep_gbps:
         rates = default_node_rates()
         rates[node_index] = target
+        if tracer is not None:
+            tracer.mark(0.0, "fig12.sweep", node_rate_gbps=target,
+                        node=f"n{node_index}")
         run = run_hierarchy(rates, duration=duration,
-                            flow_weights=flow_weights)
+                            flow_weights=flow_weights,
+                            tracer=tracer, metrics=metrics)
         flow_rates = [rate / 1e9 for flow_id, rate
                       in sorted(run.flow_rates_bps.items())
                       if flow_id.startswith(f"n{node_index}.")]

@@ -48,14 +48,18 @@ def run_hierarchy(node_rate_gbps: Sequence[float],
                   flow_weights: Optional[List[float]] = None,
                   packet_bytes: int = MTU_BYTES,
                   list_factory: Optional[Callable] = None,
-                  flows_per_node: int = FLOWS_PER_NODE) -> HierRun:
+                  flows_per_node: int = FLOWS_PER_NODE,
+                  tracer=None, metrics=None) -> HierRun:
     """Simulate the Section 6.3 topology and measure achieved rates.
 
     ``node_rate_gbps[i]`` is node i's Token Bucket rate limit.  Rates are
-    measured after a warm-up window.
+    measured after a warm-up window.  ``tracer``/``metrics``
+    (:mod:`repro.obs`) observe the whole stack: simulator timers, link
+    serialization, per-level enqueue/dequeue, and packet
+    arrivals/departures.
     """
-    sim = Simulator()
-    link = Link(gbps(LINK_GBPS))
+    sim = Simulator(tracer=tracer)
+    link = Link(gbps(LINK_GBPS), tracer=tracer)
     node_rates = [gbps(rate) for rate in node_rate_gbps]
     root, leaves = two_level_tree(
         TokenBucket(),
@@ -65,8 +69,10 @@ def run_hierarchy(node_rate_gbps: Sequence[float],
         flow_weights=flow_weights,
     )
     scheduler = HierarchicalScheduler(root, link_rate_bps=link.rate_bps,
-                                      list_factory=list_factory)
-    engine = TransmitEngine(sim, scheduler, link)
+                                      list_factory=list_factory,
+                                      tracer=tracer, metrics=metrics)
+    engine = TransmitEngine(sim, scheduler, link,
+                            tracer=tracer, metrics=metrics)
     for flow in leaves:
         source = BackloggedSource(sim, flow.flow_id, engine.arrival_sink,
                                   depth=2, size_bytes=packet_bytes)

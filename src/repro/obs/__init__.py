@@ -1,0 +1,53 @@
+"""Observability layer: tracing + metrics across sim/sched/core.
+
+Zero-dependency event tracing (:mod:`repro.obs.trace`), aggregate
+metrics (:mod:`repro.obs.metrics`), span scopes and the null default
+path (:mod:`repro.obs.scope`), and the ``TracedList`` backend decorator
+(:mod:`repro.obs.traced_list`).
+
+Typical wiring::
+
+    from repro.obs import MetricsRegistry, Tracer
+
+    tracer, metrics = Tracer(), MetricsRegistry()
+    sim = Simulator(tracer=tracer)
+    link = Link(gbps(40), tracer=tracer)
+    scheduler = PieoScheduler(algo, tracer=tracer, metrics=metrics)
+    engine = TransmitEngine(sim, scheduler, link,
+                            tracer=tracer, metrics=metrics)
+    ...
+    tracer.write_jsonl("run.jsonl"); metrics.write_json("run.json")
+
+Every instrumented component defaults to the shared null observers, so
+the untraced path stays allocation-free.
+"""
+
+from repro.obs.metrics import (BATCH_BUCKETS, Counter, DEPTH_BUCKETS,
+                               Gauge, Histogram, LATENCY_BUCKETS_US,
+                               MetricsRegistry)
+from repro.obs.scope import (NULL_METRICS, NULL_SPAN, NULL_TRACER,
+                             NullMetrics, NullSpan, NullTracer, Span)
+from repro.obs.trace import (EVENT_KINDS, TraceEvent, Tracer, read_jsonl)
+from repro.obs.traced_list import TracedList
+
+__all__ = [
+    "BATCH_BUCKETS",
+    "Counter",
+    "DEPTH_BUCKETS",
+    "EVENT_KINDS",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_US",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullSpan",
+    "NullTracer",
+    "Span",
+    "TraceEvent",
+    "TracedList",
+    "Tracer",
+    "read_jsonl",
+]

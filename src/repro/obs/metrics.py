@@ -1,0 +1,199 @@
+"""Counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is the aggregate companion to the event-level
+:class:`repro.obs.trace.Tracer`: where the tracer answers "what happened
+and when", the registry answers "how much, how deep, how long" without
+retaining per-event state.  Instruments are created once by name and
+updated on the hot path with O(1) work:
+
+* :class:`Counter` — monotonically increasing totals (arrivals,
+  departures, kicks, retry arms);
+* :class:`Gauge` — instantaneous levels with min/max watermarks (ordered
+  -list queue depth, backlog bytes);
+* :class:`Histogram` — fixed-bucket distributions (schedule()-batch
+  size, per-op wall-clock latency of backend calls).
+
+``snapshot()`` / ``to_dict()`` return plain dicts; :meth:`write_json`
+persists them.  The default (unobserved) path uses
+:class:`repro.obs.scope.NullMetrics` instead, which hands out shared
+no-op instruments.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+from typing import Dict, List, Optional, Sequence
+
+#: Default buckets for queue-depth style histograms.
+DEPTH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+#: Default buckets for microsecond latency histograms.
+LATENCY_BUCKETS_US = (1, 2, 5, 10, 20, 50, 100, 200, 500,
+                      1_000, 5_000, 20_000)
+
+#: Default buckets for schedule()-batch sizes.
+BATCH_BUCKETS = (0, 1, 2, 4, 8, 16, 32)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """An instantaneous level with min/max watermarks.
+
+    The watermarks cover every value the gauge has taken since creation
+    (or the last :meth:`reset`), so "queue depth never went negative" is
+    checkable from a snapshot alone.
+    """
+
+    __slots__ = ("value", "min", "max")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1) -> None:
+        self.set(self.value - amount)
+
+    def reset(self) -> None:
+        self.value = 0.0
+        self.min = None
+        self.max = None
+
+
+class Histogram:
+    """Fixed-bucket histogram.
+
+    ``buckets`` are inclusive upper bounds; one implicit overflow bucket
+    catches everything above the last bound.  Mean/min/max are tracked
+    exactly regardless of bucketing.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, buckets: Sequence[float] = DEPTH_BUCKETS) -> None:
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        bounds = tuple(buckets)
+        if list(bounds) != sorted(bounds):
+            raise ValueError("bucket bounds must be increasing")
+        self.buckets = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from the bucket counts (upper bound of
+        the bucket holding the q-th observation; ``inf`` if it landed in
+        the overflow bucket)."""
+        if not 0 <= q <= 1:
+            raise ValueError("quantile must be within [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= target:
+                if index < len(self.buckets):
+                    return float(self.buckets[index])
+                return math.inf
+        return math.inf  # pragma: no cover - cumulative covers count
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshotted as dicts."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument factories (idempotent per name) --------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(
+                buckets if buckets is not None else DEPTH_BUCKETS)
+        return instrument
+
+    # -- export --------------------------------------------------------
+    def to_dict(self) -> Dict[str, Dict]:
+        """Plain-dict snapshot of every instrument."""
+        return {
+            "counters": {name: counter.value
+                         for name, counter in self._counters.items()},
+            "gauges": {name: {"value": gauge.value, "min": gauge.min,
+                              "max": gauge.max}
+                       for name, gauge in self._gauges.items()},
+            "histograms": {
+                name: {
+                    "buckets": list(histogram.buckets),
+                    "counts": list(histogram.counts),
+                    "count": histogram.count,
+                    "sum": histogram.sum,
+                    "mean": histogram.mean,
+                    "min": histogram.min,
+                    "max": histogram.max,
+                }
+                for name, histogram in self._histograms.items()
+            },
+        }
+
+    def snapshot(self) -> Dict[str, Dict]:
+        return self.to_dict()
+
+    def write_json(self, path) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")

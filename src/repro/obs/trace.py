@@ -1,0 +1,252 @@
+"""Structured event tracing with sim-time stamps.
+
+A :class:`Tracer` collects typed :class:`TraceEvent` records from every
+instrumented layer — packet arrivals and departures from the transmit
+engine, ordered-list enqueues/dequeues from the scheduling framework,
+timer lifecycle from the simulator and the engine's retry path, link
+busy/idle transitions — and can either retain them (unbounded, or in a
+bounded ring buffer) or stream them to a JSONL sink as they happen.
+
+The event vocabulary is fixed (:data:`EVENT_KINDS`); each event is one
+``kind`` plus a small dict of fields, stamped with the *simulated* time
+it describes.  Wall-clock latencies enter the stream only through
+``span`` events (see :class:`repro.obs.scope.Span`).
+
+Analysis code consumes events in-process (:meth:`Tracer.events_of`) or
+offline from the JSONL export, one JSON object per line::
+
+    {"t": 0.0003072, "kind": "departure", "flow_id": "n6.f2", ...}
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (Dict, Hashable, IO, Iterator, List, Optional,
+                    Sequence, Union)
+
+from repro.obs.scope import Span
+
+#: The closed vocabulary of trace event kinds.
+EVENT_KINDS = (
+    "arrival",       # packet entered the scheduler
+    "enqueue",       # flow element inserted into an ordered list
+    "dequeue",       # flow element extracted from an ordered list
+    "departure",     # packet handed to the wire
+    "drop",          # packet discarded (admission / policy)
+    "timer_arm",     # a timer was armed
+    "timer_fire",    # an armed timer fired
+    "timer_cancel",  # an armed timer was cancelled before firing
+    "kick",          # transmit engine requested a scheduling attempt
+    "link_busy",     # link started serializing a packet
+    "link_idle",     # link finished its current batch
+    "mark",          # free-form annotation (run/sweep boundaries)
+    "span",          # wall-clock latency of an instrumented region
+)
+
+
+def _json_safe(value):
+    """JSON cannot express non-finite floats; encode them as strings so
+    every exported line parses under strict decoders."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)  # 'inf' / '-inf' / 'nan'
+    return value
+
+
+@dataclass
+class TraceEvent:
+    """One structured event: a kind, a sim-time stamp, and fields."""
+
+    time: float
+    kind: str
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {"t": _json_safe(self.time),
+                                     "kind": self.kind}
+        for key, value in self.fields.items():
+            record[key] = _json_safe(value)
+        return record
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    def get(self, key: str, default=None):
+        return self.fields.get(key, default)
+
+
+class Tracer:
+    """Collects and/or streams :class:`TraceEvent` records.
+
+    Parameters
+    ----------
+    capacity:
+        ``None`` retains every event (analysis mode).  An integer ``n``
+        keeps only the most recent ``n`` events in a ring buffer
+        (long-running mode; evictions are counted in :attr:`dropped`).
+        ``0`` retains nothing — useful together with ``sink``.
+    sink:
+        Optional writable text stream; every event is additionally
+        written to it immediately as one JSON line (JSONL export).
+    """
+
+    def __init__(self, capacity: Optional[int] = None,
+                 sink: Optional[IO[str]] = None) -> None:
+        if capacity is None:
+            self._events: Union[List[TraceEvent],
+                                deque] = []
+        else:
+            if capacity < 0:
+                raise ValueError("capacity must be >= 0 or None")
+            self._events = deque(maxlen=capacity)
+        self._ring = capacity is not None
+        self._sink = sink
+        self._owns_sink = False
+        #: Total events emitted (including ring evictions).
+        self.emitted = 0
+        #: Events evicted by the ring buffer.
+        self.dropped = 0
+        #: Emission count per event kind.
+        self.counts: Dict[str, int] = {}
+        self.enabled = True
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def open_jsonl(cls, path, capacity: Optional[int] = 0) -> "Tracer":
+        """A tracer streaming every event to ``path`` as JSONL.
+
+        By default nothing is retained in memory (``capacity=0``) so the
+        tracer is safe for arbitrarily long runs; :meth:`close` flushes
+        and closes the file.
+        """
+        tracer = cls(capacity=capacity, sink=open(path, "w"))
+        tracer._owns_sink = True
+        return tracer
+
+    def close(self) -> None:
+        if self._sink is not None:
+            self._sink.flush()
+            if self._owns_sink:
+                self._sink.close()
+            self._sink = None
+
+    # ------------------------------------------------------------------
+    # Core emission
+    # ------------------------------------------------------------------
+    def emit(self, time: float, kind: str, **fields) -> None:
+        """Record one event; ``kind`` must come from
+        :data:`EVENT_KINDS`."""
+        if not self.enabled:
+            return
+        if kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown trace event kind {kind!r}; "
+                f"expected one of {', '.join(EVENT_KINDS)}")
+        event = TraceEvent(time, kind, fields)
+        if self._ring and self._events.maxlen is not None \
+                and len(self._events) == self._events.maxlen:
+            self.dropped += 1
+        if not (self._ring and self._events.maxlen == 0):
+            self._events.append(event)
+        self.emitted += 1
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        if self._sink is not None:
+            self._sink.write(event.to_json())
+            self._sink.write("\n")
+
+    # ------------------------------------------------------------------
+    # Typed emitters (the instrumented layers call these)
+    # ------------------------------------------------------------------
+    def arrival(self, time, flow_id: Hashable, size_bytes: int,
+                packet_id=None) -> None:
+        self.emit(time, "arrival", flow_id=flow_id,
+                  size_bytes=size_bytes, packet_id=packet_id)
+
+    def enqueue(self, time, flow_id: Hashable, rank, send_time,
+                **fields) -> None:
+        self.emit(time, "enqueue", flow_id=flow_id, rank=rank,
+                  send_time=send_time, **fields)
+
+    def dequeue(self, time, flow_id: Hashable, rank=None,
+                **fields) -> None:
+        self.emit(time, "dequeue", flow_id=flow_id, rank=rank, **fields)
+
+    def departure(self, time, flow_id: Hashable, size_bytes: int,
+                  packet_id=None, finish=None) -> None:
+        self.emit(time, "departure", flow_id=flow_id,
+                  size_bytes=size_bytes, packet_id=packet_id,
+                  finish=finish)
+
+    def drop(self, time, flow_id: Hashable, reason: str = "",
+             **fields) -> None:
+        self.emit(time, "drop", flow_id=flow_id, reason=reason, **fields)
+
+    def timer_arm(self, time, timer_id, deadline,
+                  scope: str = "sim") -> None:
+        self.emit(time, "timer_arm", id=timer_id, deadline=deadline,
+                  scope=scope)
+
+    def timer_fire(self, time, timer_id, scope: str = "sim") -> None:
+        self.emit(time, "timer_fire", id=timer_id, scope=scope)
+
+    def timer_cancel(self, time, timer_id, scope: str = "sim") -> None:
+        self.emit(time, "timer_cancel", id=timer_id, scope=scope)
+
+    def kick(self, time, at=None) -> None:
+        self.emit(time, "kick", at=at)
+
+    def link_busy(self, time, until=None, flow_id=None) -> None:
+        self.emit(time, "link_busy", until=until, flow_id=flow_id)
+
+    def link_idle(self, time) -> None:
+        self.emit(time, "link_idle")
+
+    def mark(self, time, label: str, **fields) -> None:
+        """Free-form annotation, e.g. a sweep-point boundary."""
+        self.emit(time, "mark", label=label, **fields)
+
+    def span(self, name: str, sim_time: float = 0.0) -> Span:
+        """``with tracer.span("schedule"):`` — wall-clock a region and
+        emit its latency as a ``span`` event."""
+        return Span(self, name, sim_time)
+
+    # ------------------------------------------------------------------
+    # Access and export
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> Sequence[TraceEvent]:
+        return self._events
+
+    def events_of(self, *kinds: str) -> List[TraceEvent]:
+        """Retained events restricted to the given kinds, in order."""
+        wanted = set(kinds)
+        return [event for event in self._events if event.kind in wanted]
+
+    def iter_jsonl(self) -> Iterator[str]:
+        for event in self._events:
+            yield event.to_json()
+
+    def write_jsonl(self, path) -> int:
+        """Write every retained event to ``path``; returns the count."""
+        count = 0
+        with open(path, "w") as handle:
+            for line in self.iter_jsonl():
+                handle.write(line)
+                handle.write("\n")
+                count += 1
+        return count
+
+
+def read_jsonl(path) -> List[Dict[str, object]]:
+    """Parse a JSONL trace file back into a list of event dicts."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -24,6 +24,7 @@ from repro.core.element import ALWAYS_ELIGIBLE, Element, Rank, Time
 from repro.core.interfaces import PieoList
 from repro.errors import (ConfigurationError, SimulationError,
                           UnknownFlowError)
+from repro.obs.scope import NULL_METRICS, NULL_TRACER
 from repro.sched.base import SchedulingAlgorithm, TimeBase, TriggerModel
 from repro.sim.flow import FlowQueue
 from repro.sim.packet import Packet
@@ -85,7 +86,8 @@ class SchedulerContext:
     def enqueue(self, flow: FlowQueue, rank: Rank,
                 send_time: Time = ALWAYS_ELIGIBLE) -> None:
         """ordered_list.enqueue(f) with the assigned attributes."""
-        self._scheduler._list_enqueue(flow, rank, send_time)
+        self._scheduler._list_enqueue(flow, rank, send_time,
+                                      now=self.now)
 
     def reenqueue(self, flow: FlowQueue) -> None:
         """Re-enqueue a still-backlogged flow after a dequeue, honouring
@@ -94,7 +96,7 @@ class SchedulerContext:
 
     def dequeue_specific(self, flow_id: Hashable) -> Optional[Element]:
         """ordered_list.dequeue(f) — the asynchronous extract."""
-        return self._scheduler.ordered_list.dequeue_flow(flow_id)
+        return self._scheduler._list_dequeue_flow(flow_id, now=self.now)
 
     # -- transmission -------------------------------------------------------
     def transmit_head(self, flow: FlowQueue) -> Optional[Packet]:
@@ -138,6 +140,12 @@ class PieoScheduler:
     link_rate_bps:
         Rate of the attached link; fair-queuing algorithms need it for
         virtual-time arithmetic.
+    tracer / metrics:
+        Observability hooks (:mod:`repro.obs`): typed ``enqueue`` /
+        ``dequeue`` events per ordered-list transition, plus the
+        ``sched.queue_depth`` gauge (elements resident in this
+        scheduler's ordered list).  Default to the shared null
+        observers.
     """
 
     def __init__(self, algorithm: SchedulingAlgorithm,
@@ -145,7 +153,8 @@ class PieoScheduler:
                  trigger: TriggerModel = TriggerModel.OUTPUT,
                  link_rate_bps: float = 40e9,
                  backend: Optional[str] = None,
-                 backend_config: Optional[Dict] = None) -> None:
+                 backend_config: Optional[Dict] = None,
+                 tracer=None, metrics=None) -> None:
         if link_rate_bps <= 0:
             raise ConfigurationError("link_rate_bps must be positive")
         if ordered_list is not None and backend is not None:
@@ -158,6 +167,11 @@ class PieoScheduler:
         self.ordered_list: PieoList = ordered_list
         self.trigger = trigger
         self.link_rate_bps = link_rate_bps
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._g_depth = self.metrics.gauge("sched.queue_depth")
+        self._c_enqueues = self.metrics.counter("sched.enqueues")
+        self._c_dequeues = self.metrics.counter("sched.dequeues")
         self.flows: Dict[Hashable, FlowQueue] = {}
         #: Global scheduling state (virtual_time lives here).
         self.state: Dict[str, float] = {}
@@ -197,7 +211,8 @@ class PieoScheduler:
             packet.send_time = send_time
             was_empty = flow.push(packet)
             if was_empty and not self.blocked.get(flow_id):
-                self._list_enqueue(flow, packet.rank, packet.send_time)
+                self._list_enqueue(flow, packet.rank, packet.send_time,
+                                   now=now)
                 return True
             return False
         # Output-triggered: Pre-Enqueue fires on enqueue into an *empty*
@@ -230,11 +245,17 @@ class PieoScheduler:
             element = self.ordered_list.dequeue(eligibility_now)
             if element is None:
                 return []
+            self.tracer.dequeue(now, element.flow_id, element.rank)
+            self._c_dequeues.inc()
+            self._g_depth.dec()
             if element.flow_id in blocked_subtrees:
                 # This child's subtree already proved unable to send at
                 # this instant; put the element back untouched and stop
                 # (only time or an arrival can unblock it).
                 self.ordered_list.enqueue(element)
+                self.tracer.enqueue(now, element.flow_id, element.rank,
+                                    element.send_time, requeue=True)
+                self._g_depth.inc()
                 return []
             self.decisions += 1
             flow = self.get_flow(element.flow_id)
@@ -266,7 +287,7 @@ class PieoScheduler:
         mutate attributes and re-enqueue.  Returns False if the flow was
         not resident in the ordered list."""
         flow = self.get_flow(flow_id)
-        element = self.ordered_list.dequeue_flow(flow_id)
+        element = self._list_dequeue_flow(flow_id, now=now)
         if element is None:
             return False
         ctx = SchedulerContext(self, now, reason="alarm")
@@ -281,7 +302,7 @@ class PieoScheduler:
         flow and extract it from the ordered list."""
         self.get_flow(flow_id)
         self.blocked[flow_id] = True
-        self.ordered_list.dequeue_flow(flow_id)
+        self._list_dequeue_flow(flow_id, now=now)
 
     def resume_flow(self, flow_id: Hashable, now: Time) -> bool:
         """Unblock a flow; re-enqueues it if backlogged.  Returns True if
@@ -298,17 +319,33 @@ class PieoScheduler:
     # Internals
     # ------------------------------------------------------------------
     def _list_enqueue(self, flow: FlowQueue, rank: Rank,
-                      send_time: Time) -> None:
+                      send_time: Time, now: Time = 0.0) -> None:
         self.ordered_list.enqueue(Element(
             flow_id=flow.flow_id, rank=rank, send_time=send_time,
             group=flow.group, payload=flow))
+        self.tracer.enqueue(now, flow.flow_id, rank, send_time)
+        self._c_enqueues.inc()
+        self._g_depth.inc()
+
+    def _list_dequeue_flow(self, flow_id: Hashable,
+                           now: Time = 0.0) -> Optional[Element]:
+        """ordered_list.dequeue(f) with observability (alarm/pause/
+        asynchronous extracts)."""
+        element = self.ordered_list.dequeue_flow(flow_id)
+        if element is not None:
+            self.tracer.dequeue(now, element.flow_id, element.rank,
+                                op="dequeue_flow")
+            self._c_dequeues.inc()
+            self._g_depth.dec()
+        return element
 
     def _reenqueue(self, ctx: SchedulerContext, flow: FlowQueue) -> None:
         if self.blocked.get(flow.flow_id):
             return
         if self.trigger is TriggerModel.INPUT:
             head = flow.head
-            self._list_enqueue(flow, head.rank, head.send_time)
+            self._list_enqueue(flow, head.rank, head.send_time,
+                               now=ctx.now)
             return
         requeue_ctx = SchedulerContext(self, ctx.now, reason="requeue")
         requeue_ctx.sent = ctx.sent

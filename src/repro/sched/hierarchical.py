@@ -200,12 +200,19 @@ class HierarchicalScheduler:
 
     def __init__(self, root: SchedNode, link_rate_bps: float = 40e9,
                  list_factory=None, backend: Optional[str] = None,
-                 backend_config: Optional[Dict] = None) -> None:
+                 backend_config: Optional[Dict] = None,
+                 tracer=None, metrics=None) -> None:
         if list_factory is not None and backend is not None:
             raise ConfigurationError(
                 "pass either list_factory or backend, not both")
         self.root = root
         self.link_rate_bps = link_rate_bps
+        #: Shared observability hooks, threaded into every node's
+        #: per-level scheduler (events carry node/flow ids, so one tracer
+        #: sees the whole tree; the ``sched.queue_depth`` gauge counts
+        #: elements resident across *all* levels).
+        self.tracer = tracer
+        self.metrics = metrics
         self._list_factory = list_factory or make_factory(
             backend or DEFAULT_BACKEND, **(backend_config or {}))
         self._group_ids = itertools.count()
@@ -231,7 +238,8 @@ class HierarchicalScheduler:
         view = LogicalPieoView(physical, group_id)
         rate = node.rate_bps if node.rate_bps > 0 else self.link_rate_bps
         node.scheduler = PieoScheduler(
-            node.algorithm, ordered_list=view, link_rate_bps=rate)
+            node.algorithm, ordered_list=view, link_rate_bps=rate,
+            tracer=self.tracer, metrics=self.metrics)
         for child in node.children.values():
             child.group = group_id
             node.scheduler.flows[child.flow_id] = child

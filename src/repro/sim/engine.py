@@ -5,13 +5,26 @@ link goes idle, ask the scheduler for the next packet(s); when the
 scheduler is non-work-conserving and nothing is currently eligible, set a
 timer for the next eligibility instant; otherwise wait for the next
 arrival to kick scheduling again.
+
+Observability: with a :class:`repro.obs.trace.Tracer` attached the engine
+emits ``arrival``/``departure`` per packet, ``kick`` per scheduling
+request, the full retry-timer lifecycle (``timer_arm`` /
+``timer_fire`` / ``timer_cancel`` under scope ``"engine.retry"``), and
+``link_idle`` at the end of each transmitted batch; a
+:class:`repro.obs.metrics.MetricsRegistry` additionally aggregates
+arrival/departure counters, backlog gauges, the ``schedule()``-batch-size
+histogram, and the wall-clock latency of each ``schedule()`` call.
 """
 
 from __future__ import annotations
 
+import itertools
 import math
+import time
 from typing import Callable, Dict, Hashable, List, Optional
 
+from repro.obs.metrics import BATCH_BUCKETS, LATENCY_BUCKETS_US
+from repro.obs.scope import NULL_METRICS, NULL_TRACER
 from repro.sim.events import Simulator
 from repro.sim.link import Link
 from repro.sim.packet import Packet
@@ -30,22 +43,43 @@ class TransmitEngine:
     """
 
     def __init__(self, sim: Simulator, scheduler, link: Link,
-                 recorder: Optional[Recorder] = None) -> None:
+                 recorder: Optional[Recorder] = None,
+                 tracer=None, metrics=None) -> None:
         self.sim = sim
         self.scheduler = scheduler
         self.link = link
         self.recorder = recorder if recorder is not None else Recorder()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         #: Per-flow departure callbacks (e.g. BackloggedSource refills).
         self.departure_listeners: Dict[Hashable,
                                        Callable[[], None]] = {}
         self._retry_handle = None
+        self._retry_timer_id = None
+        self._retry_ids = itertools.count()
         self._kick_pending = False
+        # Metrics instruments (no-ops on the default null registry).
+        self._c_arrivals = self.metrics.counter("engine.arrivals")
+        self._c_departures = self.metrics.counter("engine.departures")
+        self._c_kicks = self.metrics.counter("engine.kicks")
+        self._c_retry_arms = self.metrics.counter("engine.retry_arms")
+        self._g_backlog_pkts = self.metrics.gauge("engine.backlog_pkts")
+        self._g_backlog_bytes = self.metrics.gauge("engine.backlog_bytes")
+        self._h_batch = self.metrics.histogram("engine.batch_size",
+                                               BATCH_BUCKETS)
+        self._h_schedule_us = self.metrics.histogram(
+            "engine.schedule_us", LATENCY_BUCKETS_US)
 
     # ------------------------------------------------------------------
     # Inputs
     # ------------------------------------------------------------------
     def arrival_sink(self, flow_id: Hashable, packet: Packet) -> None:
         """Feed a packet in (plug this into the traffic generators)."""
+        self.tracer.arrival(self.sim.now, flow_id, packet.size_bytes,
+                            packet.packet_id)
+        self._c_arrivals.inc()
+        self._g_backlog_pkts.inc()
+        self._g_backlog_bytes.inc(packet.size_bytes)
         self.scheduler.on_arrival(flow_id, packet, self.sim.now)
         self.kick()
 
@@ -59,6 +93,8 @@ class TransmitEngine:
             return
         self._kick_pending = True
         at = max(self.sim.now, self.link.busy_until)
+        self.tracer.kick(self.sim.now, at=at)
+        self._c_kicks.inc()
         self.sim.schedule(at, self._try_transmit)
 
     # ------------------------------------------------------------------
@@ -70,10 +106,12 @@ class TransmitEngine:
         if not self.link.is_idle(now):
             self.kick()
             return
-        if self._retry_handle is not None:
-            self._retry_handle.cancel()
-            self._retry_handle = None
+        self._cancel_retry(now)
+        start = time.perf_counter()
         packets = self.scheduler.schedule(now)
+        self._h_schedule_us.observe(
+            (time.perf_counter() - start) * 1e6)
+        self._h_batch.observe(len(packets))
         if packets:
             self._transmit_batch(packets, now)
             return
@@ -84,21 +122,34 @@ class TransmitEngine:
         # survive a transmission: the batch itself re-kicks the loop, and
         # a stale wakeup would double-kick the scheduler (observable as a
         # spurious extra schedule() probe between batches).
-        if self._retry_handle is not None:
-            self._retry_handle.cancel()
-            self._retry_handle = None
+        self._cancel_retry(now)
         start = now
         for packet in packets:
             finish = self.link.transmit(packet, start)
             packet.departure_time = finish
             self.recorder.record(start, packet.flow_id, packet.size_bytes,
                                  packet.packet_id)
+            self.tracer.departure(start, packet.flow_id,
+                                  packet.size_bytes, packet.packet_id,
+                                  finish=finish)
+            self._c_departures.inc()
+            self._g_backlog_pkts.dec()
+            self._g_backlog_bytes.dec(packet.size_bytes)
             listener = self.departure_listeners.get(packet.flow_id)
             if listener is not None:
                 self.sim.schedule(finish, listener)
             start = finish
+        self.tracer.link_idle(start)
         # Link idle again at the end of the batch: schedule the next try.
         self.kick()
+
+    def _cancel_retry(self, now: float) -> None:
+        if self._retry_handle is not None:
+            self._retry_handle.cancel()
+            self.tracer.timer_cancel(now, self._retry_timer_id,
+                                     scope="engine.retry")
+            self._retry_handle = None
+            self._retry_timer_id = None
 
     def _arm_retry(self, now: float) -> None:
         """Nothing eligible: wake at the next eligibility instant."""
@@ -111,11 +162,18 @@ class TransmitEngine:
             # nothing (e.g. empty logical partition); avoid livelock by
             # waiting for the next arrival.
             return
+        self._retry_timer_id = next(self._retry_ids)
+        self.tracer.timer_arm(now, self._retry_timer_id,
+                              deadline=wake_at, scope="engine.retry")
+        self._c_retry_arms.inc()
         self._retry_handle = self.sim.schedule(wake_at, self._on_retry)
 
     def _on_retry(self) -> None:
         """The armed retry timer fired: it is spent, so drop the handle
         before kicking (otherwise a later cancel() would be a no-op on a
         dead event while a fresh timer goes untracked)."""
+        self.tracer.timer_fire(self.sim.now, self._retry_timer_id,
+                               scope="engine.retry")
         self._retry_handle = None
+        self._retry_timer_id = None
         self.kick()

@@ -11,6 +11,7 @@ import itertools
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs.scope import NULL_TRACER
 
 EventCallback = Callable[[], None]
 
@@ -18,32 +19,48 @@ EventCallback = Callable[[], None]
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`; supports cancel."""
 
-    __slots__ = ("time", "cancelled")
+    __slots__ = ("time", "cancelled", "event_id", "tracer")
 
-    def __init__(self, time: float) -> None:
+    def __init__(self, time: float, event_id: int = -1,
+                 tracer=NULL_TRACER) -> None:
         self.time = time
         self.cancelled = False
+        self.event_id = event_id
+        self.tracer = tracer
 
     def cancel(self) -> None:
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            self.tracer.timer_cancel(self.time, self.event_id,
+                                     scope="sim")
 
 
 class Simulator:
-    """Event loop with absolute-time scheduling."""
+    """Event loop with absolute-time scheduling.
 
-    def __init__(self) -> None:
+    ``tracer`` (a :class:`repro.obs.trace.Tracer`) observes the timer
+    lifecycle: every scheduled event emits ``timer_arm``, and exactly one
+    of ``timer_fire`` (dispatched) or ``timer_cancel`` (cancelled via its
+    handle) follows — events still pending when the run stops emit
+    neither.  The default is the shared null tracer.
+    """
+
+    def __init__(self, tracer=None) -> None:
         self.now = 0.0
         self._heap: List[Tuple[float, int, EventHandle, EventCallback]] = []
         self._seq = itertools.count()
         self.events_fired = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def schedule(self, time: float, callback: EventCallback) -> EventHandle:
         """Run ``callback`` at absolute ``time`` (>= now)."""
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule event at {time} before now={self.now}")
-        handle = EventHandle(time)
-        heapq.heappush(self._heap, (time, next(self._seq), handle, callback))
+        seq = next(self._seq)
+        handle = EventHandle(time, event_id=seq, tracer=self.tracer)
+        self.tracer.timer_arm(self.now, seq, deadline=time, scope="sim")
+        heapq.heappush(self._heap, (time, seq, handle, callback))
         return handle
 
     def schedule_in(self, delay: float,
@@ -61,11 +78,12 @@ class Simulator:
     def step(self) -> bool:
         """Fire the next pending event; False when none remain."""
         while self._heap:
-            time, _seq, handle, callback = heapq.heappop(self._heap)
+            time, seq, handle, callback = heapq.heappop(self._heap)
             if handle.cancelled:
                 continue
             self.now = time
             self.events_fired += 1
+            self.tracer.timer_fire(time, seq, scope="sim")
             callback()
             return True
         return False

@@ -8,15 +8,21 @@ is idle", Fig. 3).
 
 from __future__ import annotations
 
+from repro.obs.scope import NULL_TRACER
 from repro.sim.packet import Packet
 
 GBPS = 1e9
 
 
 class Link:
-    """A fixed-rate transmission link."""
+    """A fixed-rate transmission link.
 
-    def __init__(self, rate_bps: float) -> None:
+    ``tracer`` observes serialization: one ``link_busy`` event per packet
+    accepted onto the wire (with its finish time); the transmit engine
+    emits the matching ``link_idle`` when a batch completes.
+    """
+
+    def __init__(self, rate_bps: float, tracer=None) -> None:
         if rate_bps <= 0:
             raise ValueError("link rate must be positive")
         self.rate_bps = rate_bps
@@ -24,6 +30,7 @@ class Link:
         self.bytes_sent = 0
         self.packets_sent = 0
         self.busy_time = 0.0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def transmission_time(self, packet: Packet) -> float:
         """Serialization delay of ``packet`` in seconds."""
@@ -43,6 +50,8 @@ class Link:
         self.bytes_sent += packet.size_bytes
         self.packets_sent += 1
         self.busy_time += duration
+        self.tracer.link_busy(now, until=self.busy_until,
+                              flow_id=packet.flow_id)
         return self.busy_until
 
     def utilization(self, elapsed: float) -> float:

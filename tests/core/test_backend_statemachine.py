@@ -1,0 +1,158 @@
+"""Stateful lockstep test: every backend vs. the reference oracle.
+
+Hypothesis drives random interleavings of the PIEO primitives
+(``enqueue`` / ``dequeue`` / ``dequeue(f)`` / grouped dequeue) against
+each registered backend and the :mod:`repro.core.reference` oracle in
+lockstep.  After every rule the two structures must agree on length,
+``min_send_time``, and the full (rank, seq)-ordered resident sequence —
+so any divergence is caught at the step that introduced it, with
+Hypothesis shrinking the interleaving to a minimal reproduction.
+
+Rank and time values are drawn from deliberately tiny ranges so that
+duplicate ranks (FIFO tie-break order) and remove-then-dequeue
+sequences occur in nearly every run.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, invariant,
+                                 precondition, rule, run_state_machine_as_test)
+
+from repro.core.backends import available_backends, make_list
+from repro.core.element import Element
+from repro.core.reference import ReferencePieo
+from repro.errors import CapacityError, DuplicateFlowError
+
+CAPACITY = 16
+FLOW_IDS = [f"f{i}" for i in range(CAPACITY + 4)]
+RANKS = st.integers(min_value=0, max_value=5)       # tiny → lots of ties
+SEND_TIMES = st.sampled_from([0, 1, 2, 5, 10])
+NOWS = st.sampled_from([0, 1, 2, 5, 10, 100])
+GROUPS = st.integers(min_value=0, max_value=3)
+
+
+class BackendLockstep(RuleBasedStateMachine):
+    """Drive one backend and the reference oracle in lockstep."""
+
+    backend_name = "reference"  # overridden per generated subclass
+
+    def __init__(self):
+        super().__init__()
+        self.model = ReferencePieo(capacity=CAPACITY)
+        self.impl = make_list(self.backend_name, capacity=CAPACITY)
+        self.resident = set()
+
+    def _elements(self, flow_id, rank, send_time, group):
+        """Separate-but-equal Element instances: the lists mutate
+        ``seq`` at enqueue time, so the pair must not share one."""
+        return (Element(flow_id, rank=rank, send_time=send_time,
+                        group=group),
+                Element(flow_id, rank=rank, send_time=send_time,
+                        group=group))
+
+    @rule(flow_id=st.sampled_from(FLOW_IDS), rank=RANKS,
+          send_time=SEND_TIMES, group=GROUPS)
+    def enqueue(self, flow_id, rank, send_time, group):
+        for_model, for_impl = self._elements(flow_id, rank, send_time,
+                                             group)
+        if flow_id in self.resident or len(self.resident) >= CAPACITY:
+            # Which error wins when the list is BOTH full and holds a
+            # duplicate is not part of the contract — backends check in
+            # different orders — so accept either; what matters is that
+            # both structures reject and stay unchanged.
+            if flow_id in self.resident and len(self.resident) >= CAPACITY:
+                expected_errors = (DuplicateFlowError, CapacityError)
+            elif flow_id in self.resident:
+                expected_errors = (DuplicateFlowError,)
+            else:
+                expected_errors = (CapacityError,)
+            with pytest.raises(expected_errors):
+                self.model.enqueue(for_model)
+            with pytest.raises(expected_errors):
+                self.impl.enqueue(for_impl)
+        else:
+            self.model.enqueue(for_model)
+            self.impl.enqueue(for_impl)
+            self.resident.add(flow_id)
+
+    @rule(now=NOWS)
+    def dequeue(self, now):
+        expected = self.model.dequeue(now)
+        actual = self.impl.dequeue(now)
+        if expected is None:
+            assert actual is None
+        else:
+            assert actual is not None
+            assert actual.flow_id == expected.flow_id
+            assert actual.rank == expected.rank
+            assert actual.send_time == expected.send_time
+            self.resident.discard(expected.flow_id)
+
+    @rule(now=NOWS, lo=GROUPS, hi=GROUPS)
+    def dequeue_grouped(self, now, lo, hi):
+        group_range = (min(lo, hi), max(lo, hi))
+        expected = self.model.dequeue(now, group_range=group_range)
+        actual = self.impl.dequeue(now, group_range=group_range)
+        if expected is None:
+            assert actual is None
+        else:
+            assert actual is not None
+            assert actual.flow_id == expected.flow_id
+            assert actual.rank == expected.rank
+            self.resident.discard(expected.flow_id)
+
+    @rule(flow_id=st.sampled_from(FLOW_IDS))
+    def dequeue_flow(self, flow_id):
+        """dequeue(f) on present and absent ids alike — the absent case
+        must return the paper's NULL (None) from both structures."""
+        expected = self.model.dequeue_flow(flow_id)
+        actual = self.impl.dequeue_flow(flow_id)
+        if expected is None:
+            assert actual is None
+        else:
+            assert actual is not None
+            assert actual.flow_id == expected.flow_id == flow_id
+            assert actual.rank == expected.rank
+            self.resident.discard(flow_id)
+
+    @precondition(lambda self: self.resident)
+    @rule(now=NOWS)
+    def remove_then_dequeue(self, now):
+        """Explicit remove-then-dequeue: take out some resident flow by
+        id, then immediately dequeue — order must survive the removal."""
+        victim = sorted(self.resident)[0]
+        assert self.model.dequeue_flow(victim) is not None
+        assert self.impl.dequeue_flow(victim) is not None
+        self.resident.discard(victim)
+        self.dequeue(now)
+
+    @invariant()
+    def lengths_agree(self):
+        assert len(self.impl) == len(self.model) == len(self.resident)
+
+    @invariant()
+    def min_send_time_agrees(self):
+        assert self.impl.min_send_time() == self.model.min_send_time()
+
+    @invariant()
+    def order_agrees(self):
+        """The full resident sequence in (rank, FIFO-seq) order must
+        match — this is the strongest check and subsumes peek."""
+        expected = [(e.flow_id, e.rank, e.send_time)
+                    for e in self.model.snapshot()]
+        actual = [(e.flow_id, e.rank, e.send_time)
+                  for e in self.impl.snapshot()]
+        assert actual == expected
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_backend_matches_oracle_statefully(backend):
+    machine_class = type(f"Lockstep_{backend}", (BackendLockstep,),
+                         {"backend_name": backend})
+    run_state_machine_as_test(
+        machine_class,
+        settings=settings(max_examples=25, stateful_step_count=40,
+                          deadline=None))

@@ -10,6 +10,8 @@ aggregate."""
 
 import random
 
+import pytest
+
 from repro.core.pieo import PieoHardwareList
 from repro.sched import (HierarchicalScheduler, TokenBucket, WF2Qplus,
                          two_level_tree)
@@ -19,6 +21,7 @@ from repro.sim import (BackloggedSource, Link, OnOffGenerator,
 DURATION = 0.05
 
 
+@pytest.mark.slow
 def test_soak_hierarchy_on_hardware_lists():
     rng = random.Random(2026)
     sim = Simulator()

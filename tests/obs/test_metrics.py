@@ -1,0 +1,87 @@
+"""Metrics unit tests: counters, gauges, histograms, registry export."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_accumulates():
+    counter = Counter()
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+
+
+def test_gauge_tracks_watermarks():
+    gauge = Gauge()
+    gauge.set(5)
+    gauge.dec(7)
+    gauge.inc(10)
+    assert gauge.value == 8
+    assert gauge.min == -2
+    assert gauge.max == 8
+    gauge.reset()
+    assert gauge.value == 0.0 and gauge.min is None and gauge.max is None
+
+
+def test_histogram_buckets_and_exact_stats():
+    histogram = Histogram(buckets=(1, 10, 100))
+    for value in (0.5, 1.0, 5, 50, 500):
+        histogram.observe(value)
+    # bounds are inclusive upper bounds; one overflow bucket at the end
+    assert histogram.counts == [2, 1, 1, 1]
+    assert histogram.count == 5
+    assert histogram.sum == pytest.approx(556.5)
+    assert histogram.mean == pytest.approx(111.3)
+    assert histogram.min == 0.5 and histogram.max == 500
+
+
+def test_histogram_quantile_is_bucket_upper_bound():
+    histogram = Histogram(buckets=(1, 10, 100))
+    for value in (0.5, 2, 3, 20, 500):
+        histogram.observe(value)
+    assert histogram.quantile(0.5) == 10.0
+    assert histogram.quantile(1.0) == math.inf  # overflow bucket
+    assert Histogram(buckets=(1,)).quantile(0.5) == 0.0  # empty
+    with pytest.raises(ValueError):
+        histogram.quantile(1.5)
+
+
+def test_histogram_rejects_bad_buckets():
+    with pytest.raises(ValueError):
+        Histogram(buckets=())
+    with pytest.raises(ValueError):
+        Histogram(buckets=(10, 1))
+
+
+def test_registry_instruments_are_idempotent_per_name():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.gauge("g") is registry.gauge("g")
+    assert registry.histogram("h") is registry.histogram("h")
+
+
+def test_registry_snapshot_shape():
+    registry = MetricsRegistry()
+    registry.counter("arrivals").inc(3)
+    registry.gauge("depth").set(7)
+    registry.histogram("batch", buckets=(1, 2)).observe(2)
+    snapshot = registry.to_dict()
+    assert snapshot["counters"] == {"arrivals": 3}
+    assert snapshot["gauges"]["depth"] == {"value": 7, "min": 7, "max": 7}
+    histogram = snapshot["histograms"]["batch"]
+    assert histogram["buckets"] == [1, 2]
+    assert histogram["counts"] == [0, 1, 0]
+    assert histogram["count"] == 1
+    assert registry.snapshot() == snapshot
+
+
+def test_registry_write_json(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("a").inc()
+    path = tmp_path / "metrics.json"
+    registry.write_json(path)
+    assert json.loads(path.read_text())["counters"] == {"a": 1}

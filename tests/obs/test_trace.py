@@ -1,0 +1,118 @@
+"""Tracer unit tests: typed events, ring buffer, JSONL export."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import EVENT_KINDS, TraceEvent, Tracer, read_jsonl
+
+
+def test_typed_emitters_produce_typed_events():
+    tracer = Tracer()
+    tracer.arrival(0.1, "f0", 1500, packet_id=7)
+    tracer.enqueue(0.1, "f0", rank=3, send_time=0)
+    tracer.dequeue(0.2, "f0", rank=3)
+    tracer.departure(0.2, "f0", 1500, packet_id=7, finish=0.3)
+    tracer.drop(0.3, "f1", reason="capacity")
+    tracer.timer_arm(0.3, 1, deadline=0.4, scope="engine.retry")
+    tracer.timer_fire(0.4, 1, scope="engine.retry")
+    tracer.timer_cancel(0.4, 2, scope="sim")
+    tracer.kick(0.4, at=0.5)
+    tracer.link_busy(0.5, until=0.6, flow_id="f0")
+    tracer.link_idle(0.6)
+    tracer.mark(0.6, "sweep", target=4.0)
+    kinds = [event.kind for event in tracer.events]
+    assert kinds == ["arrival", "enqueue", "dequeue", "departure",
+                     "drop", "timer_arm", "timer_fire", "timer_cancel",
+                     "kick", "link_busy", "link_idle", "mark"]
+    assert all(kind in EVENT_KINDS for kind in kinds)
+    assert tracer.emitted == 12
+    assert tracer.counts["arrival"] == 1
+    assert tracer.events[0].get("flow_id") == "f0"
+    assert tracer.events[3].get("finish") == 0.3
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown trace event kind"):
+        Tracer().emit(0.0, "explosion")
+
+
+def test_span_measures_wall_clock():
+    tracer = Tracer()
+    with tracer.span("dequeue", sim_time=1.5) as span:
+        sum(range(1000))
+    assert span.wall_us is not None and span.wall_us >= 0
+    (event,) = tracer.events_of("span")
+    assert event.time == 1.5
+    assert event.get("name") == "dequeue"
+    assert event.get("wall_us") == pytest.approx(span.wall_us, abs=0.01)
+
+
+def test_ring_buffer_bounds_retention_and_counts_drops():
+    tracer = Tracer(capacity=3)
+    for index in range(10):
+        tracer.kick(float(index))
+    assert len(tracer.events) == 3
+    assert [event.time for event in tracer.events] == [7.0, 8.0, 9.0]
+    assert tracer.emitted == 10
+    assert tracer.dropped == 7
+    assert tracer.counts["kick"] == 10
+
+
+def test_zero_capacity_retains_nothing_but_counts():
+    tracer = Tracer(capacity=0)
+    tracer.kick(0.0)
+    assert len(tracer.events) == 0
+    assert tracer.emitted == 1
+
+
+def test_events_of_filters_by_kind():
+    tracer = Tracer()
+    tracer.kick(0.0)
+    tracer.link_idle(1.0)
+    tracer.kick(2.0)
+    assert [event.time for event in tracer.events_of("kick")] == [0.0, 2.0]
+    assert len(tracer.events_of("kick", "link_idle")) == 3
+
+
+def test_jsonl_round_trip(tmp_path):
+    tracer = Tracer()
+    tracer.enqueue(0.25, "f0", rank=3, send_time=math.inf)
+    tracer.departure(0.5, "f0", 1500, packet_id=1, finish=0.6)
+    path = tmp_path / "trace.jsonl"
+    assert tracer.write_jsonl(path) == 2
+    records = read_jsonl(path)
+    assert records[0]["kind"] == "enqueue"
+    # Non-finite floats are encoded as strings for strict-JSON parsers.
+    assert records[0]["send_time"] == "inf"
+    assert records[1] == {"t": 0.5, "kind": "departure", "flow_id": "f0",
+                          "size_bytes": 1500, "packet_id": 1,
+                          "finish": 0.6}
+    # Every line parses under the strict (default-forbidding) decoder.
+    for line in path.read_text().splitlines():
+        json.loads(line, parse_constant=lambda _: pytest.fail(
+            "non-strict JSON constant leaked into the export"))
+
+
+def test_streaming_sink_writes_as_events_happen(tmp_path):
+    path = tmp_path / "stream.jsonl"
+    tracer = Tracer.open_jsonl(path)
+    tracer.kick(0.0)
+    tracer.link_idle(1.0)
+    tracer.close()
+    records = read_jsonl(path)
+    assert [record["kind"] for record in records] == ["kick", "link_idle"]
+    assert len(tracer.events) == 0  # streaming mode retains nothing
+
+
+def test_trace_event_json_is_compact():
+    event = TraceEvent(0.125, "kick", {"at": 0.25})
+    assert event.to_json() == '{"t":0.125,"kind":"kick","at":0.25}'
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer()
+    tracer.enabled = False
+    tracer.kick(0.0)
+    assert tracer.emitted == 0 and len(tracer.events) == 0
