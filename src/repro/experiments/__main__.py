@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments --backend fast rate
     python -m repro.experiments --list-backends
     python -m repro.experiments fig11 --trace t.jsonl --metrics m.json
+    python -m repro.experiments fig11 --trace t.jsonl --analyze
 
 ``--backend`` selects the ordered-list engine (from the
 :mod:`repro.core.backends` registry) for the experiments that exercise a
@@ -20,7 +21,8 @@ line) from every simulation-driven experiment that supports
 observability (fig11, fig12); ``--metrics FILE`` writes the aggregated
 counters/gauges/histograms as JSON after the run.  ``--duration SECONDS``
 overrides the simulated duration of those experiments (handy for quick
-traced runs).
+traced runs).  ``--analyze`` pipes the finished ``--trace`` file through
+``python -m repro.obs summarize`` for per-flow latency attribution.
 """
 
 from __future__ import annotations
@@ -110,6 +112,10 @@ def main(argv) -> int:
         "--duration", default=None, type=float, metavar="SECONDS",
         help="override the simulated duration of simulation-driven "
              "experiments")
+    parser.add_argument(
+        "--analyze", action="store_true",
+        help="after the run, summarize the --trace file with "
+             "'python -m repro.obs summarize' (requires --trace)")
     args = parser.parse_args(argv[1:])
 
     if args.list_backends:
@@ -127,6 +133,9 @@ def main(argv) -> int:
             return 2
     if args.duration is not None and args.duration <= 0:
         print(f"--duration must be positive, got {args.duration}")
+        return 2
+    if args.analyze and args.trace is None:
+        print("--analyze requires --trace FILE")
         return 2
 
     tracer = None
@@ -161,6 +170,10 @@ def main(argv) -> int:
         if metrics is not None:
             metrics.write_json(args.metrics)
             print(f"metrics -> {args.metrics}", file=sys.stderr)
+    if args.analyze:
+        from repro.obs.__main__ import main as obs_main
+        print()
+        return obs_main(["repro.obs", "summarize", args.trace])
     return 0
 
 

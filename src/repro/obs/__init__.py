@@ -2,8 +2,11 @@
 
 Zero-dependency event tracing (:mod:`repro.obs.trace`), aggregate
 metrics (:mod:`repro.obs.metrics`), span scopes and the null default
-path (:mod:`repro.obs.scope`), and the ``TracedList`` backend decorator
-(:mod:`repro.obs.traced_list`).
+path (:mod:`repro.obs.scope`), the ``TracedList`` backend decorator
+(:mod:`repro.obs.traced_list`), offline trace analysis with per-packet
+latency attribution (:mod:`repro.obs.analyze`), and Prometheus/Perfetto
+exporters (:mod:`repro.obs.export`); ``python -m repro.obs`` is the
+analysis CLI.
 
 Typical wiring::
 
@@ -22,9 +25,14 @@ Every instrumented component defaults to the shared null observers, so
 the untraced path stays allocation-free.
 """
 
+from repro.obs.analyze import (FlowReport, PacketTimeline, Run,
+                               TraceAnalysis, analyze_path, split_runs)
+from repro.obs.export import (flow_report_json, perfetto_trace,
+                              prometheus_from_snapshot, prometheus_text,
+                              write_perfetto, write_prometheus)
 from repro.obs.metrics import (BATCH_BUCKETS, Counter, DEPTH_BUCKETS,
                                Gauge, Histogram, LATENCY_BUCKETS_US,
-                               MetricsRegistry)
+                               LogHistogram, MetricsRegistry)
 from repro.obs.scope import (NULL_METRICS, NULL_SPAN, NULL_TRACER,
                              NullMetrics, NullSpan, NullTracer, Span)
 from repro.obs.trace import (EVENT_KINDS, TraceEvent, Tracer, read_jsonl)
@@ -35,9 +43,11 @@ __all__ = [
     "Counter",
     "DEPTH_BUCKETS",
     "EVENT_KINDS",
+    "FlowReport",
     "Gauge",
     "Histogram",
     "LATENCY_BUCKETS_US",
+    "LogHistogram",
     "MetricsRegistry",
     "NULL_METRICS",
     "NULL_SPAN",
@@ -45,9 +55,20 @@ __all__ = [
     "NullMetrics",
     "NullSpan",
     "NullTracer",
+    "PacketTimeline",
+    "Run",
     "Span",
+    "TraceAnalysis",
     "TraceEvent",
     "TracedList",
     "Tracer",
+    "analyze_path",
+    "flow_report_json",
+    "perfetto_trace",
+    "prometheus_from_snapshot",
+    "prometheus_text",
     "read_jsonl",
+    "split_runs",
+    "write_perfetto",
+    "write_prometheus",
 ]

@@ -110,7 +110,7 @@ class NullTracer:
         pass
 
     def departure(self, time, flow_id, size_bytes, packet_id=None,
-                  finish=None) -> None:
+                  finish=None, **fields) -> None:
         pass
 
     def drop(self, time, flow_id, reason="", **fields) -> None:
@@ -193,6 +193,9 @@ class NullHistogram:
     def mean(self) -> float:
         return 0.0
 
+    def quantile(self, q: float) -> float:
+        return 0.0
+
 
 NULL_COUNTER = NullCounter()
 NULL_GAUGE = NullGauge()
@@ -218,6 +221,11 @@ class NullMetrics:
     def histogram(self, name: str,
                   buckets: Optional[Sequence[float]] = None,
                   ) -> NullHistogram:
+        return NULL_HISTOGRAM
+
+    def log_histogram(self, name: str, min_value: float = 1e-3,
+                      max_value: float = 1e7,
+                      growth: Optional[float] = None) -> NullHistogram:
         return NULL_HISTOGRAM
 
     def snapshot(self) -> Dict[str, Dict]:

@@ -176,10 +176,10 @@ class Tracer:
         self.emit(time, "dequeue", flow_id=flow_id, rank=rank, **fields)
 
     def departure(self, time, flow_id: Hashable, size_bytes: int,
-                  packet_id=None, finish=None) -> None:
+                  packet_id=None, finish=None, **fields) -> None:
         self.emit(time, "departure", flow_id=flow_id,
                   size_bytes=size_bytes, packet_id=packet_id,
-                  finish=finish)
+                  finish=finish, **fields)
 
     def drop(self, time, flow_id: Hashable, reason: str = "",
              **fields) -> None:
@@ -241,12 +241,50 @@ class Tracer:
         return count
 
 
+#: Fields whose non-finite floats are string-encoded by
+#: :func:`_json_safe` on export and revived back to floats by
+#: :func:`read_jsonl`.  An allowlist, so a free-form string field that
+#: legitimately holds the text ``"inf"`` is never corrupted.
+NUMERIC_FIELDS = frozenset((
+    "t", "rank", "send_time", "deadline", "finish", "until", "at",
+    "eligible_at", "arrival_t", "wall_us",
+))
+
+_NON_FINITE = {"inf": math.inf, "-inf": -math.inf, "nan": math.nan}
+
+
+def _revive(record: Dict[str, object]) -> Dict[str, object]:
+    """Undo the :func:`_json_safe` string encoding of non-finite floats
+    on the known numeric fields, so ``read_jsonl`` round-trips
+    :meth:`Tracer.write_jsonl` exactly."""
+    for key, value in record.items():
+        if (key in NUMERIC_FIELDS and isinstance(value, str)
+                and value in _NON_FINITE):
+            record[key] = _NON_FINITE[value]
+    return record
+
+
 def read_jsonl(path) -> List[Dict[str, object]]:
-    """Parse a JSONL trace file back into a list of event dicts."""
+    """Parse a JSONL trace file back into a list of event dicts.
+
+    Non-finite floats that :meth:`Tracer.write_jsonl` string-encoded
+    (``inf`` ranks, ``nan`` deadlines, ...) are revived to floats; a
+    malformed line raises :class:`ValueError` naming its line number.
+    """
     records = []
     with open(path) as handle:
-        for line in handle:
+        for number, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
-                records.append(json.loads(line))
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{number}: malformed trace line "
+                    f"({error.msg})") from error
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"{path}:{number}: trace line is not a JSON object")
+            records.append(_revive(record))
     return records

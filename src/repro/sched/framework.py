@@ -173,6 +173,12 @@ class PieoScheduler:
         self._c_enqueues = self.metrics.counter("sched.enqueues")
         self._c_dequeues = self.metrics.counter("sched.dequeues")
         self.flows: Dict[Hashable, FlowQueue] = {}
+        #: Residency bookkeeping for eligibility attribution: flow_id ->
+        #: (enqueue wall time, eligible at enqueue).  Mirrors ordered-list
+        #: membership; consulted when the matching dequeue event is
+        #: emitted so offline analysis can split eligibility wait from
+        #: queueing wait per element episode.
+        self._resident: Dict[Hashable, tuple] = {}
         #: Global scheduling state (virtual_time lives here).
         self.state: Dict[str, float] = {}
         #: Flows administratively paused by network feedback (Section 4.4).
@@ -245,7 +251,10 @@ class PieoScheduler:
             element = self.ordered_list.dequeue(eligibility_now)
             if element is None:
                 return []
-            self.tracer.dequeue(now, element.flow_id, element.rank)
+            self.tracer.dequeue(now, element.flow_id, element.rank,
+                                send_time=element.send_time,
+                                eligible_at=self._eligible_at(
+                                    element, now))
             self._c_dequeues.inc()
             self._g_depth.dec()
             if element.flow_id in blocked_subtrees:
@@ -253,8 +262,11 @@ class PieoScheduler:
                 # this instant; put the element back untouched and stop
                 # (only time or an arrival can unblock it).
                 self.ordered_list.enqueue(element)
+                eligible = element.send_time <= eligibility_now
+                self._resident[element.flow_id] = (now, eligible)
                 self.tracer.enqueue(now, element.flow_id, element.rank,
-                                    element.send_time, requeue=True)
+                                    element.send_time, requeue=True,
+                                    eligible=eligible)
                 self._g_depth.inc()
                 return []
             self.decisions += 1
@@ -318,12 +330,43 @@ class PieoScheduler:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _eligibility_threshold(self, now: Time) -> Time:
+        """The value eligibility predicates are evaluated against right
+        now, in the algorithm's own time base."""
+        if self.algorithm.time_base is TimeBase.VIRTUAL:
+            return self.state.get("virtual_time", 0.0)
+        return now
+
+    def _eligible_at(self, element: Element,
+                     now: Time) -> Optional[Time]:
+        """Wall-clock instant the departing element's predicate became
+        true, for latency attribution (queueing vs eligibility wait).
+
+        ``None`` when the transition is not observable in wall time:
+        the element entered ineligible under a *virtual* time base, so
+        only the enqueue→dequeue residence bounds the wait.
+        """
+        entry = self._resident.pop(element.flow_id, None)
+        if entry is None:
+            return None
+        enqueued_at, eligible_on_enqueue = entry
+        if eligible_on_enqueue:
+            return enqueued_at
+        if self.algorithm.time_base is TimeBase.WALL:
+            # send_time is a wall-clock instant: the predicate flipped
+            # exactly then (clamped into the residence interval).
+            return min(max(enqueued_at, element.send_time), now)
+        return None
+
     def _list_enqueue(self, flow: FlowQueue, rank: Rank,
                       send_time: Time, now: Time = 0.0) -> None:
         self.ordered_list.enqueue(Element(
             flow_id=flow.flow_id, rank=rank, send_time=send_time,
             group=flow.group, payload=flow))
-        self.tracer.enqueue(now, flow.flow_id, rank, send_time)
+        eligible = send_time <= self._eligibility_threshold(now)
+        self._resident[flow.flow_id] = (now, eligible)
+        self.tracer.enqueue(now, flow.flow_id, rank, send_time,
+                            eligible=eligible)
         self._c_enqueues.inc()
         self._g_depth.inc()
 
@@ -334,7 +377,10 @@ class PieoScheduler:
         element = self.ordered_list.dequeue_flow(flow_id)
         if element is not None:
             self.tracer.dequeue(now, element.flow_id, element.rank,
-                                op="dequeue_flow")
+                                op="dequeue_flow",
+                                send_time=element.send_time,
+                                eligible_at=self._eligible_at(
+                                    element, now))
             self._c_dequeues.inc()
             self._g_depth.dec()
         return element

@@ -75,6 +75,7 @@ class TransmitEngine:
     # ------------------------------------------------------------------
     def arrival_sink(self, flow_id: Hashable, packet: Packet) -> None:
         """Feed a packet in (plug this into the traffic generators)."""
+        packet.arrival_time = self.sim.now
         self.tracer.arrival(self.sim.now, flow_id, packet.size_bytes,
                             packet.packet_id)
         self._c_arrivals.inc()
@@ -131,7 +132,8 @@ class TransmitEngine:
                                  packet.packet_id)
             self.tracer.departure(start, packet.flow_id,
                                   packet.size_bytes, packet.packet_id,
-                                  finish=finish)
+                                  finish=finish,
+                                  arrival_t=packet.arrival_time)
             self._c_departures.inc()
             self._g_backlog_pkts.dec()
             self._g_backlog_bytes.dec(packet.size_bytes)

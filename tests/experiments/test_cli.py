@@ -105,3 +105,18 @@ def test_flags_do_not_leak_into_cycle_accurate_experiments(tmp_path):
 def test_duration_override_reaches_the_simulation(key, capsys):
     assert _run(key, "--duration", "0.001") == 0
     assert capsys.readouterr().out  # table printed without error
+
+
+def test_analyze_requires_trace(capsys):
+    assert _run("fig11", "--analyze") == 2
+    assert "--trace" in capsys.readouterr().out
+
+
+def test_analyze_summarizes_after_the_run(tmp_path, capsys):
+    trace_path = tmp_path / "trace.jsonl"
+    assert _run("fig11", "--duration", "0.001",
+                "--trace", str(trace_path), "--analyze") == 0
+    out = capsys.readouterr().out
+    assert "per-flow latency attribution" in out
+    assert "fig11.sweep" in out
+    assert "delivered" in out

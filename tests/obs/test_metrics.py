@@ -5,7 +5,8 @@ import math
 
 import pytest
 
-from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs import (Counter, DEPTH_BUCKETS, Gauge, Histogram,
+                       LogHistogram, MetricsRegistry)
 
 
 def test_counter_accumulates():
@@ -57,11 +58,88 @@ def test_histogram_rejects_bad_buckets():
         Histogram(buckets=(10, 1))
 
 
+def test_depth_buckets_cover_full_scale_lists():
+    """Paper-scale N = 32K element lists must not land every depth
+    sample in the overflow bucket."""
+    assert DEPTH_BUCKETS[-1] >= 32768
+    histogram = Histogram()  # DEPTH_BUCKETS default
+    histogram.observe(32768)
+    assert histogram.overflow == 0
+
+
+def test_histogram_overflow_is_explicit():
+    histogram = Histogram(buckets=(1, 10))
+    for value in (0.5, 5, 100, 200):
+        histogram.observe(value)
+    assert histogram.overflow == 2
+    assert histogram.counts == [1, 1, 2]
+
+
+def test_log_histogram_buckets_and_exact_stats():
+    histogram = LogHistogram(min_value=1.0, max_value=1e4)
+    for value in (0.5, 1.0, 3.0, 250.0, 1e6):
+        histogram.observe(value)
+    assert histogram.underflow == 2  # <= min_value
+    assert histogram.overflow == 1   # > max_value
+    assert histogram.count == 5
+    assert histogram.sum == pytest.approx(1000254.5)
+    assert histogram.min == 0.5 and histogram.max == 1e6
+    # Every in-range value lands in the bucket whose bound brackets it.
+    for value, total in ((3.0, 1), (250.0, 1)):
+        index = next(i for i, bound in enumerate(histogram.bounds)
+                     if bound >= value)
+        lower = (histogram.min_value if index == 0
+                 else histogram.bounds[index - 1])
+        assert lower < value <= histogram.bounds[index]
+        assert histogram.counts[index] == total
+
+
+def test_log_histogram_quantiles_bounded_relative_error():
+    histogram = LogHistogram(min_value=1e-3, max_value=1e7)
+    samples = [1.0 * 1.01 ** index for index in range(1000)]
+    for value in samples:
+        histogram.observe(value)
+    samples.sort()
+    for q in (0.5, 0.9, 0.99, 0.999):
+        exact = samples[math.ceil(q * len(samples)) - 1]
+        assert histogram.quantile(q) == pytest.approx(exact, rel=0.13)
+    # Quantiles are clamped to the exact observed range.
+    assert histogram.quantile(0.0) >= histogram.min
+    assert histogram.quantile(1.0) == histogram.max
+
+
+def test_log_histogram_empty_and_validation():
+    histogram = LogHistogram()
+    assert histogram.quantile(0.5) == 0.0
+    assert histogram.mean == 0.0
+    with pytest.raises(ValueError):
+        histogram.quantile(2.0)
+    with pytest.raises(ValueError):
+        LogHistogram(min_value=0.0)
+    with pytest.raises(ValueError):
+        LogHistogram(min_value=10.0, max_value=1.0)
+    with pytest.raises(ValueError):
+        LogHistogram(growth=1.0)
+
+
+def test_log_histogram_cumulative_buckets_are_monotone():
+    histogram = LogHistogram(min_value=1.0, max_value=100.0)
+    for value in (0.5, 2.0, 30.0, 500.0):
+        histogram.observe(value)
+    pairs = histogram.cumulative_buckets()
+    assert pairs[0] == (1.0, 1)  # underflow surfaces as le=min_value
+    cumulatives = [cumulative for _, cumulative in pairs]
+    assert cumulatives == sorted(cumulatives)
+    # +Inf bucket (added by exporters) closes the gap to count.
+    assert cumulatives[-1] + histogram.overflow == histogram.count
+
+
 def test_registry_instruments_are_idempotent_per_name():
     registry = MetricsRegistry()
     assert registry.counter("a") is registry.counter("a")
     assert registry.gauge("g") is registry.gauge("g")
     assert registry.histogram("h") is registry.histogram("h")
+    assert registry.log_histogram("lh") is registry.log_histogram("lh")
 
 
 def test_registry_snapshot_shape():
@@ -76,6 +154,13 @@ def test_registry_snapshot_shape():
     assert histogram["buckets"] == [1, 2]
     assert histogram["counts"] == [0, 1, 0]
     assert histogram["count"] == 1
+    assert histogram["overflow"] == 0
+    registry.log_histogram("lat", min_value=1.0, max_value=10.0)
+    registry.log_histogram("lat").observe(3.0)
+    snapshot = registry.to_dict()
+    log_histogram = snapshot["log_histograms"]["lat"]
+    assert log_histogram["count"] == 1
+    assert log_histogram["quantiles"]["p50"] == pytest.approx(3.0)
     assert registry.snapshot() == snapshot
 
 

@@ -84,15 +84,57 @@ def test_jsonl_round_trip(tmp_path):
     assert tracer.write_jsonl(path) == 2
     records = read_jsonl(path)
     assert records[0]["kind"] == "enqueue"
-    # Non-finite floats are encoded as strings for strict-JSON parsers.
-    assert records[0]["send_time"] == "inf"
+    # Non-finite floats are string-encoded on disk (strict JSON) and
+    # revived to floats by read_jsonl.
+    assert records[0]["send_time"] == math.inf
     assert records[1] == {"t": 0.5, "kind": "departure", "flow_id": "f0",
                           "size_bytes": 1500, "packet_id": 1,
                           "finish": 0.6}
-    # Every line parses under the strict (default-forbidding) decoder.
+    # Every line parses under the strict (default-forbidding) decoder,
+    # i.e. the on-disk representation never contains bare Infinity/NaN.
     for line in path.read_text().splitlines():
-        json.loads(line, parse_constant=lambda _: pytest.fail(
+        record = json.loads(line, parse_constant=lambda _: pytest.fail(
             "non-strict JSON constant leaked into the export"))
+        assert record["kind"] != "enqueue" or record["send_time"] == "inf"
+
+
+def test_jsonl_round_trip_non_finite_and_empty(tmp_path):
+    """read_jsonl ∘ write_jsonl is the identity for every numeric field,
+    non-finite floats included (satellite: inf/nan ranks + deadlines)."""
+    tracer = Tracer()
+    tracer.enqueue(0.0, "f0", rank=math.inf, send_time=-math.inf)
+    tracer.enqueue(0.1, "f1", rank=math.nan, send_time=0.0)
+    tracer.timer_arm(0.2, 1, deadline=math.inf, scope="engine.retry")
+    tracer.dequeue(0.3, "f0", rank=math.inf, eligible_at=math.nan)
+    path = tmp_path / "trace.jsonl"
+    tracer.write_jsonl(path)
+    records = read_jsonl(path)
+    assert records[0]["rank"] == math.inf
+    assert records[0]["send_time"] == -math.inf
+    assert math.isnan(records[1]["rank"])
+    assert records[2]["deadline"] == math.inf
+    assert math.isnan(records[3]["eligible_at"])
+    # Non-numeric fields are never revived, even if they look numeric.
+    tracer2 = Tracer()
+    tracer2.drop(0.0, "f0", reason="inf")
+    tracer2.write_jsonl(path)
+    assert read_jsonl(path)[0]["reason"] == "inf"
+
+
+def test_jsonl_empty_trace(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    assert Tracer().write_jsonl(path) == 0
+    assert read_jsonl(path) == []
+
+
+def test_read_jsonl_rejects_corruption(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"t": 0.0, "kind": "kick"}\n{"t": 0.1, "ki\n')
+    with pytest.raises(ValueError, match=r"bad\.jsonl:2.*malformed"):
+        read_jsonl(path)
+    path.write_text('[1, 2, 3]\n')
+    with pytest.raises(ValueError, match="not a JSON object"):
+        read_jsonl(path)
 
 
 def test_streaming_sink_writes_as_events_happen(tmp_path):
