@@ -1,0 +1,145 @@
+"""CI perf smoke: ratio-normalized simulation-throughput gate.
+
+Raw packets/sec is meaningless across machines (and noisy even on one:
+this repo's dev box drifts ±30% run to run), so the gate normalizes by
+a calibration score measured *in the same process, interleaved with the
+workload*: a fixed pure-Python loop whose instruction mix (LCG
+arithmetic, tuple heapq churn, dict traffic) resembles the simulator's
+hot path.  The gated metric is
+
+    normalized = (workload packets/sec) / (calibration Mops/sec)
+
+which cancels host speed to first order.  ``--check`` fails when the
+measured median drops more than 30% below the committed baseline in
+``bench_results/perf_smoke_baseline.json``; refresh the baseline with
+``--write-baseline`` after an intentional perf change.
+
+Usage::
+
+    python benchmarks/perf_smoke.py --check [--profile OUT.txt]
+    python benchmarks/perf_smoke.py --write-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import heapq
+import io
+import json
+import pathlib
+import pstats
+import statistics
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "src"))
+
+from repro.experiments.hier_common import (default_node_rates,  # noqa: E402
+                                           run_hierarchy)
+from repro.sim.packet import reset_packet_ids  # noqa: E402
+
+BASELINE_PATH = (pathlib.Path(__file__).parent / "bench_results"
+                 / "perf_smoke_baseline.json")
+DURATION = 0.003
+ROUNDS = 3
+#: Fail --check when the median normalized score drops more than this
+#: fraction below the committed baseline.
+TOLERANCE = 0.30
+
+
+def calibration_score(iterations: int = 300_000) -> float:
+    """Mops/sec of a fixed pure-Python loop shaped like the sim's hot
+    path (integer LCG, tuple heap push/pop, dict get/set)."""
+    heap: list = []
+    table: dict = {}
+    state = 12345
+    start = time.perf_counter()
+    for index in range(iterations):
+        state = (1103515245 * state + 12345) % 2147483648
+        heapq.heappush(heap, (state, index))
+        if len(heap) > 64:
+            _, evicted = heapq.heappop(heap)
+            table[evicted & 255] = evicted
+    elapsed = time.perf_counter() - start
+    return iterations / elapsed / 1e6
+
+
+def workload_pps() -> float:
+    """Packets/sec of the fast-config fig12 workload."""
+    reset_packet_ids(0)
+    start = time.perf_counter()
+    run = run_hierarchy(default_node_rates(), duration=DURATION,
+                        event_queue="calendar", drain=True)
+    elapsed = time.perf_counter() - start
+    return len(run.engine.recorder) / elapsed
+
+
+def measure(rounds: int = ROUNDS) -> float:
+    """Median normalized score over interleaved calibrate/run rounds."""
+    scores = []
+    for _ in range(rounds):
+        calibration = calibration_score()
+        scores.append(workload_pps() / calibration)
+    return statistics.median(scores)
+
+
+def write_profile(path: pathlib.Path) -> None:
+    """cProfile one fast-config run; top 30 frames by cumulative time."""
+    profiler = cProfile.Profile()
+    reset_packet_ids(0)
+    profiler.enable()
+    run_hierarchy(default_node_rates(), duration=DURATION,
+                  event_queue="calendar", drain=True)
+    profiler.disable()
+    buffer = io.StringIO()
+    pstats.Stats(profiler, stream=buffer) \
+        .sort_stats("cumulative").print_stats(30)
+    path.write_text(buffer.getvalue())
+    print(f"profile -> {path}")
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="fail (exit 1) on a >30%% normalized "
+                             "regression vs the committed baseline")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="measure and overwrite the baseline file")
+    parser.add_argument("--profile", metavar="OUT", default=None,
+                        help="also write a cProfile summary to OUT")
+    args = parser.parse_args(argv[1:])
+
+    score = measure()
+    print(f"normalized score: {score:.3f} "
+          f"(packets/sec per calibration Mops/sec, "
+          f"median of {ROUNDS} rounds)")
+
+    if args.profile:
+        write_profile(pathlib.Path(args.profile))
+
+    if args.write_baseline:
+        BASELINE_PATH.parent.mkdir(exist_ok=True)
+        BASELINE_PATH.write_text(json.dumps(
+            {"normalized_score": round(score, 3),
+             "duration": DURATION, "rounds": ROUNDS,
+             "tolerance": TOLERANCE}, indent=2) + "\n")
+        print(f"baseline -> {BASELINE_PATH}")
+        return 0
+
+    if args.check:
+        baseline = json.loads(BASELINE_PATH.read_text())
+        floor = baseline["normalized_score"] * (1.0 - TOLERANCE)
+        print(f"baseline {baseline['normalized_score']:.3f}, "
+              f"floor {floor:.3f}")
+        if score < floor:
+            print("FAIL: normalized throughput regressed more than "
+                  f"{TOLERANCE:.0%} below baseline")
+            return 1
+        print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

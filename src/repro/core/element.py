@@ -32,7 +32,7 @@ ALWAYS_ELIGIBLE: Time = 0
 NEVER_ELIGIBLE: Time = math.inf
 
 
-@dataclass
+@dataclass(slots=True)
 class Element:
     """One entry of the ordered list.
 

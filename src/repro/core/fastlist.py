@@ -99,6 +99,9 @@ class FastPieo(PieoList):
     def __contains__(self, flow_id: Hashable) -> bool:
         return flow_id in self._resident
 
+    def find(self, flow_id: Hashable) -> Optional[Element]:
+        return self._resident.get(flow_id)
+
     def snapshot(self) -> List[Element]:
         elements: List[Element] = []
         for chunk in self._chunks:

@@ -68,7 +68,18 @@ class OrderedList(abc.ABC):
         return iter(self.snapshot())
 
     def __contains__(self, flow_id: Hashable) -> bool:
-        return any(e.flow_id == flow_id for e in self.snapshot())
+        return self.find(flow_id) is not None
+
+    def find(self, flow_id: Hashable) -> Optional[Element]:
+        """The resident element for ``flow_id``, or None.
+
+        Non-destructive and rank-agnostic; backends with a residency
+        index override this with an O(1) lookup.
+        """
+        for element in self.snapshot():
+            if element.flow_id == flow_id:
+                return element
+        return None
 
     def __bool__(self) -> bool:
         return len(self) > 0

@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments --list-backends
     python -m repro.experiments fig11 --trace t.jsonl --metrics m.json
     python -m repro.experiments fig11 --trace t.jsonl --analyze
+    python -m repro.experiments fig12 --event-queue calendar --jobs 4
 
 ``--backend`` selects the ordered-list engine (from the
 :mod:`repro.core.backends` registry) for the experiments that exercise a
@@ -23,6 +24,13 @@ counters/gauges/histograms as JSON after the run.  ``--duration SECONDS``
 overrides the simulated duration of those experiments (handy for quick
 traced runs).  ``--analyze`` pipes the finished ``--trace`` file through
 ``python -m repro.obs summarize`` for per-flow latency attribution.
+
+``--event-queue NAME`` selects the simulator's pending-event backend
+(from the :mod:`repro.sim.events` registry; see
+``--list-event-queues``) and ``--jobs N`` shards sweep-style
+experiments' points over N worker processes.  Both are
+result-preserving: tables and traces stay byte-identical to the
+defaults (DESIGN.md section 9).
 """
 
 from __future__ import annotations
@@ -68,7 +76,8 @@ def _print_charts() -> None:
         print()
 
 
-def _call(table_fn, backend, tracer=None, metrics=None, duration=None):
+def _call(table_fn, backend, tracer=None, metrics=None, duration=None,
+          event_queue=None, jobs=None):
     """Pass each option only to experiments that accept it, so the
     cycle-accurate tables stay untouched by the flags."""
     parameters = inspect.signature(table_fn).parameters
@@ -81,6 +90,10 @@ def _call(table_fn, backend, tracer=None, metrics=None, duration=None):
         kwargs["metrics"] = metrics
     if duration is not None and "duration" in parameters:
         kwargs["duration"] = duration
+    if event_queue is not None and "event_queue" in parameters:
+        kwargs["event_queue"] = event_queue
+    if jobs is not None and "jobs" in parameters:
+        kwargs["jobs"] = jobs
     return table_fn(**kwargs)
 
 
@@ -116,6 +129,19 @@ def main(argv) -> int:
         "--analyze", action="store_true",
         help="after the run, summarize the --trace file with "
              "'python -m repro.obs summarize' (requires --trace)")
+    parser.add_argument(
+        "--event-queue", default=None, metavar="NAME",
+        help="simulator pending-event backend for simulation-driven "
+             "experiments (see --list-event-queues); results are "
+             "bit-identical across backends")
+    parser.add_argument(
+        "--list-event-queues", action="store_true",
+        help="list registered event-queue backends and exit")
+    parser.add_argument(
+        "--jobs", default=None, type=int, metavar="N",
+        help="shard sweep points of sweep-style experiments (fig11, "
+             "fig12) over N worker processes; output is byte-identical "
+             "to --jobs 1")
     args = parser.parse_args(argv[1:])
 
     if args.list_backends:
@@ -123,6 +149,23 @@ def main(argv) -> int:
         for name in available_backends():
             print(f"{name:12s} {get_backend(name).description}")
         return 0
+    if args.list_event_queues:
+        from repro.sim.events import (available_event_queues,
+                                      get_event_queue)
+        for name in available_event_queues():
+            print(f"{name:12s} {get_event_queue(name).description}")
+        return 0
+    if args.event_queue is not None:
+        from repro.errors import ConfigurationError
+        from repro.sim.events import get_event_queue
+        try:
+            get_event_queue(args.event_queue)  # fail fast
+        except ConfigurationError as error:
+            print(error)
+            return 2
+    if args.jobs is not None and args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}")
+        return 2
     if args.backend is not None:
         from repro.core.backends import get_backend
         from repro.errors import ConfigurationError
@@ -160,7 +203,9 @@ def main(argv) -> int:
             for table_fn in EXPERIMENTS[key]:
                 print(_call(table_fn, args.backend, tracer=tracer,
                             metrics=metrics,
-                            duration=args.duration).to_text())
+                            duration=args.duration,
+                            event_queue=args.event_queue,
+                            jobs=args.jobs).to_text())
                 print()
     finally:
         if tracer is not None:

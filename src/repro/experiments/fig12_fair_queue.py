@@ -4,31 +4,73 @@
 scheduler very accurately enforces fair queuing across all the flows
 within that level-2 node" — WF2Q+ at level 1 splits the node's Token
 Bucket rate equally (or by weight) across its ten flows.
+
+Like fig11, the sweep goes through
+:func:`repro.experiments.runner.run_sweep`: points are seeded from
+their index and ``jobs > 1`` shards them over processes with output
+byte-identical to the sequential run (mark-delimited trace merge
+included).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import io
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.fairness import jains_index
 from repro.experiments.fig11_rate_limit import SAMPLED_NODE
 from repro.experiments.hier_common import (FLOWS_PER_NODE,
                                            default_node_rates,
                                            run_hierarchy)
-from repro.experiments.runner import Table
+from repro.experiments.runner import Table, point_seed, run_sweep
+from repro.obs import Tracer
+from repro.sim.packet import reset_packet_ids
 
 DEFAULT_SWEEP_GBPS = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+def _fair_queue_point(spec: Tuple, tracer=None,
+                      metrics=None) -> Tuple[List[float], str]:
+    """One fig12 sweep point (module-level: picklable for ``--jobs``).
+
+    Returns ``(per_flow_gbps_sorted_by_flow_id, trace_jsonl)``; the
+    trace string is filled only when running sharded with tracing
+    requested (the parent merges it).
+    """
+    (index, target, node_index, duration, event_queue,
+     flow_weights, traced) = spec
+    reset_packet_ids(point_seed(index))
+    sink = None
+    if tracer is None and traced:
+        sink = io.StringIO()
+        tracer = Tracer(capacity=0, sink=sink)
+    rates = default_node_rates()
+    rates[node_index] = target
+    run = run_hierarchy(rates, duration=duration,
+                        flow_weights=flow_weights,
+                        tracer=tracer, metrics=metrics,
+                        event_queue=event_queue)
+    flow_rates = [rate / 1e9 for flow_id, rate
+                  in sorted(run.flow_rates_bps.items())
+                  if flow_id.startswith(f"n{node_index}.")]
+    return flow_rates, sink.getvalue() if sink is not None else ""
 
 
 def fair_queue_table(sweep_gbps: Sequence[float] = DEFAULT_SWEEP_GBPS,
                      duration: float = 0.02,
                      node_index: int = SAMPLED_NODE,
                      flow_weights: Optional[List[float]] = None,
-                     tracer=None, metrics=None) -> Table:
+                     tracer=None, metrics=None,
+                     event_queue: str = "reference",
+                     jobs: int = 1) -> Table:
     """Fig. 12's sweep: per-flow shares inside the sampled node.
 
     ``tracer``/``metrics`` observe every simulation in the sweep; a
     ``mark`` event delimits each sweep point in the trace stream.
+    ``event_queue`` selects the simulator's pending-event backend and
+    ``jobs`` shards sweep points over processes — both leave every
+    result byte-identical.  (``metrics`` aggregation is in-process, so a
+    metrics-observed sweep always runs sequentially.)
     """
     weighted = flow_weights is not None
     table = Table(
@@ -38,18 +80,27 @@ def fair_queue_table(sweep_gbps: Sequence[float] = DEFAULT_SWEEP_GBPS,
         headers=["node_rate_gbps", "expected_per_flow_gbps",
                  "min_flow_gbps", "max_flow_gbps", "jain_index"],
     )
-    for target in sweep_gbps:
-        rates = default_node_rates()
-        rates[node_index] = target
+    specs = [(index, target, node_index, duration, event_queue,
+              flow_weights, tracer is not None)
+             for index, target in enumerate(sweep_gbps)]
+    sharded = jobs > 1 and metrics is None
+    if sharded:
+        outcomes = run_sweep(_fair_queue_point, specs, jobs=jobs)
         if tracer is not None:
-            tracer.mark(0.0, "fig12.sweep", node_rate_gbps=target,
-                        node=f"n{node_index}")
-        run = run_hierarchy(rates, duration=duration,
-                            flow_weights=flow_weights,
-                            tracer=tracer, metrics=metrics)
-        flow_rates = [rate / 1e9 for flow_id, rate
-                      in sorted(run.flow_rates_bps.items())
-                      if flow_id.startswith(f"n{node_index}.")]
+            for spec, (_, lines) in zip(specs, outcomes):
+                tracer.mark(0.0, "fig12.sweep", node_rate_gbps=spec[1],
+                            node=f"n{node_index}")
+                tracer.absorb_jsonl(lines.splitlines())
+    else:
+        outcomes = []
+        for spec in specs:
+            if tracer is not None:
+                tracer.mark(0.0, "fig12.sweep", node_rate_gbps=spec[1],
+                            node=f"n{node_index}")
+            outcomes.append(_fair_queue_point(spec, tracer=tracer,
+                                              metrics=metrics))
+    for spec, (flow_rates, _) in zip(specs, outcomes):
+        target = spec[1]
         if weighted:
             weights = [flow_weights[i % len(flow_weights)]
                        for i in range(FLOWS_PER_NODE)]

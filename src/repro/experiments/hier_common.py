@@ -49,16 +49,21 @@ def run_hierarchy(node_rate_gbps: Sequence[float],
                   packet_bytes: int = MTU_BYTES,
                   list_factory: Optional[Callable] = None,
                   flows_per_node: int = FLOWS_PER_NODE,
-                  tracer=None, metrics=None) -> HierRun:
+                  tracer=None, metrics=None,
+                  event_queue: str = "reference",
+                  drain: Optional[bool] = None) -> HierRun:
     """Simulate the Section 6.3 topology and measure achieved rates.
 
     ``node_rate_gbps[i]`` is node i's Token Bucket rate limit.  Rates are
     measured after a warm-up window.  ``tracer``/``metrics``
     (:mod:`repro.obs`) observe the whole stack: simulator timers, link
     serialization, per-level enqueue/dequeue, and packet
-    arrivals/departures.
+    arrivals/departures.  ``event_queue`` selects the simulator's
+    pending-event backend (results are bit-identical across backends);
+    ``drain`` forces the transmit engine's batched fast path on/off
+    (default: automatic — on only for unobserved runs).
     """
-    sim = Simulator(tracer=tracer)
+    sim = Simulator(tracer=tracer, metrics=metrics, queue=event_queue)
     link = Link(gbps(LINK_GBPS), tracer=tracer)
     node_rates = [gbps(rate) for rate in node_rate_gbps]
     root, leaves = two_level_tree(
@@ -72,7 +77,7 @@ def run_hierarchy(node_rate_gbps: Sequence[float],
                                       list_factory=list_factory,
                                       tracer=tracer, metrics=metrics)
     engine = TransmitEngine(sim, scheduler, link,
-                            tracer=tracer, metrics=metrics)
+                            tracer=tracer, metrics=metrics, drain=drain)
     for flow in leaves:
         source = BackloggedSource(sim, flow.flow_id, engine.arrival_sink,
                                   depth=2, size_bytes=packet_bytes)

@@ -1,15 +1,63 @@
-"""Shared table formatting for the evaluation harness.
+"""Shared experiment-harness plumbing: result tables and sharded sweeps.
 
 Every experiment module produces a :class:`Table` whose rows mirror the
 series in the corresponding paper figure, plus (where the paper states
 numbers) a paper-anchor column, so EXPERIMENTS.md can record
 paper-vs-measured directly from benchmark output.
+
+:func:`run_sweep` fans a sweep's points across worker processes
+(``--jobs N`` on the CLI).  The determinism contract:
+
+* every sweep-point worker is a **module-level function** (so it can be
+  pickled to a pool) taking one spec tuple whose first item is the
+  point's index;
+* the worker derives *all* process-global state from that index — in
+  particular it must call
+  :func:`repro.sim.packet.reset_packet_ids` with
+  :func:`point_seed` — so a point computes the same result whether it
+  runs in the parent (``jobs=1``), in a pool, or in any pool-worker
+  interleaving;
+* results always come back in point order, regardless of completion
+  order.
+
+Under this contract ``jobs=N`` output is byte-identical to ``jobs=1``
+(the fig11/fig12 integration tests assert it, including merged JSONL
+trace streams).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Sequence
+from typing import Any, Callable, List, Sequence
+
+#: Packet-id stride between sweep points: point ``i`` draws its packet
+#: ids from ``[i * stride, (i+1) * stride)``.  Far above any single
+#: point's packet count, so ids never collide across points and every
+#: point's ids are independent of execution order.
+POINT_ID_STRIDE = 10_000_000
+
+
+def point_seed(index: int, stride: int = POINT_ID_STRIDE) -> int:
+    """First packet id for sweep point ``index`` (see module docstring)."""
+    if index < 0:
+        raise ValueError("sweep point index must be >= 0")
+    return index * stride
+
+
+def run_sweep(worker: Callable[[Any], Any], specs: Sequence[Any],
+              jobs: int = 1) -> List[Any]:
+    """Run ``worker(spec)`` for every spec, optionally in a process pool.
+
+    ``jobs <= 1`` runs sequentially in-process (no pool, no pickling);
+    ``jobs > 1`` fans the points over ``min(jobs, len(specs))``
+    processes.  Either way the returned list is in spec order.
+    """
+    if jobs <= 1 or len(specs) <= 1:
+        return [worker(spec) for spec in specs]
+    import multiprocessing
+
+    with multiprocessing.Pool(min(jobs, len(specs))) as pool:
+        return pool.map(worker, specs, chunksize=1)
 
 
 @dataclass

@@ -24,8 +24,8 @@ import json
 import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import (Dict, Hashable, IO, Iterator, List, Optional,
-                    Sequence, Union)
+from typing import (Dict, Hashable, IO, Iterable, Iterator, List,
+                    Optional, Sequence, Union)
 
 from repro.obs.scope import Span
 
@@ -238,6 +238,33 @@ class Tracer:
                 handle.write(line)
                 handle.write("\n")
                 count += 1
+        return count
+
+    def absorb_jsonl(self, lines: Iterable[str]) -> int:
+        """Re-emit serialized trace lines (e.g. from a sharded sweep
+        worker) into this tracer, preserving order; returns the count.
+
+        Each line is parsed and re-emitted through :meth:`emit`, so
+        retention, per-kind counts, and the sink observe absorbed events
+        exactly as if they had been emitted locally.  Serialization
+        round-trips byte-exactly: :func:`json` float formatting is
+        shortest-repr stable and the non-finite string encodings of
+        :func:`_json_safe` are revived with the :func:`read_jsonl`
+        rules before re-encoding.
+        """
+        count = 0
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if not isinstance(record, dict):
+                raise ValueError("trace line is not a JSON object")
+            record = _revive(record)
+            time = record.pop("t")
+            kind = record.pop("kind")
+            self.emit(time, kind, **record)
+            count += 1
         return count
 
 

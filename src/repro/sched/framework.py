@@ -38,6 +38,8 @@ class SchedulerContext:
     for the transmit engine.
     """
 
+    __slots__ = ("_scheduler", "now", "reason", "sent", "subtree_blocked")
+
     def __init__(self, scheduler: "PieoScheduler", now: Time,
                  reason: str) -> None:
         self._scheduler = scheduler
@@ -169,6 +171,17 @@ class PieoScheduler:
         self.link_rate_bps = link_rate_bps
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        #: True when nothing observes this scheduler; hot paths skip
+        #: tracer emission, counters, and residency bookkeeping entirely
+        #: (the bookkeeping only feeds trace-based latency attribution).
+        self._quiet = (self.tracer is NULL_TRACER
+                       and self.metrics is NULL_METRICS)
+        #: True when the algorithm keeps the stock eligibility_time, so
+        #: the dequeue loop can read the threshold directly instead of
+        #: calling through the context per decision.
+        self._default_eligibility = (
+            type(algorithm).eligibility_time
+            is SchedulingAlgorithm.eligibility_time)
         self._g_depth = self.metrics.gauge("sched.queue_depth")
         self._c_enqueues = self.metrics.counter("sched.enqueues")
         self._c_dequeues = self.metrics.counter("sched.dequeues")
@@ -183,6 +196,10 @@ class PieoScheduler:
         self.state: Dict[str, float] = {}
         #: Flows administratively paused by network feedback (Section 4.4).
         self.blocked: Dict[Hashable, bool] = {}
+        #: Reused "requeue"/"dequeue" contexts (see :meth:`_reenqueue`
+        #: and :meth:`schedule`).
+        self._requeue_ctx: Optional[SchedulerContext] = None
+        self._schedule_ctx: Optional[SchedulerContext] = None
         #: Scheduling decisions taken (dequeue() calls that returned a flow).
         self.decisions = 0
 
@@ -209,8 +226,8 @@ class PieoScheduler:
         """A packet arrived; returns True if the flow just became
         schedulable (useful as a transmit-engine kick hint)."""
         flow = self.get_flow(flow_id)
-        ctx = SchedulerContext(self, now, reason="arrival")
         if self.trigger is TriggerModel.INPUT:
+            ctx = SchedulerContext(self, now, reason="arrival")
             rank, send_time = self.algorithm.packet_attributes(
                 ctx, flow, packet)
             packet.rank = rank
@@ -223,9 +240,11 @@ class PieoScheduler:
             return False
         # Output-triggered: Pre-Enqueue fires on enqueue into an *empty*
         # flow queue (and on dequeue from a flow queue, handled in
-        # _reenqueue).
+        # _reenqueue).  The context is built only when the function will
+        # run — most arrivals land on already-backlogged flows.
         was_empty = flow.push(packet)
         if was_empty and not self.blocked.get(flow_id):
+            ctx = SchedulerContext(self, now, reason="arrival")
             self.algorithm.pre_enqueue(ctx, flow)
             return True
         return False
@@ -244,37 +263,74 @@ class PieoScheduler:
         legitimately produce no packet (e.g. DRR deficit accrual).
         Returns the packets to transmit (empty when no flow is
         eligible)."""
-        blocked_subtrees = set()
-        for _ in range(self.MAX_ZERO_OUTPUT_DECISIONS):
+        quiet = self._quiet
+        algorithm = self.algorithm
+        post_dequeue = algorithm.post_dequeue
+        list_dequeue = self.ordered_list.dequeue
+        flows = self.flows
+        if self._default_eligibility:
+            eligibility_time = None
+            virtual = algorithm.time_base is TimeBase.VIRTUAL
+            state = self.state
+        else:
+            eligibility_time = algorithm.eligibility_time
+        blocked_subtrees = None
+        # One "dequeue" context per scheduler, refreshed per call (the
+        # sent list must be fresh — it is returned to the caller).
+        # schedule() is not reentrant on a single scheduler: hierarchies
+        # descend into *different* schedulers per level.
+        ctx = self._schedule_ctx
+        if ctx is None:
             ctx = SchedulerContext(self, now, reason="dequeue")
-            eligibility_now = self.algorithm.eligibility_time(ctx)
-            element = self.ordered_list.dequeue(eligibility_now)
+            self._schedule_ctx = ctx
+        else:
+            ctx.now = now
+            ctx.sent = []
+        for _ in range(self.MAX_ZERO_OUTPUT_DECISIONS):
+            # The context is reused across zero-output iterations: its
+            # sent list is empty (a non-empty one returns immediately)
+            # and subtree_blocked is re-armed here.
+            ctx.subtree_blocked = False
+            if eligibility_time is None:
+                eligibility_now = (state.get("virtual_time", 0.0)
+                                   if virtual else now)
+            else:
+                eligibility_now = eligibility_time(ctx)
+            element = list_dequeue(eligibility_now)
             if element is None:
                 return []
-            self.tracer.dequeue(now, element.flow_id, element.rank,
-                                send_time=element.send_time,
-                                eligible_at=self._eligible_at(
-                                    element, now))
-            self._c_dequeues.inc()
-            self._g_depth.dec()
-            if element.flow_id in blocked_subtrees:
+            if not quiet:
+                self.tracer.dequeue(now, element.flow_id, element.rank,
+                                    send_time=element.send_time,
+                                    eligible_at=self._eligible_at(
+                                        element, now))
+                self._c_dequeues.inc()
+                self._g_depth.dec()
+            if (blocked_subtrees is not None
+                    and element.flow_id in blocked_subtrees):
                 # This child's subtree already proved unable to send at
                 # this instant; put the element back untouched and stop
                 # (only time or an arrival can unblock it).
                 self.ordered_list.enqueue(element)
-                eligible = element.send_time <= eligibility_now
-                self._resident[element.flow_id] = (now, eligible)
-                self.tracer.enqueue(now, element.flow_id, element.rank,
-                                    element.send_time, requeue=True,
-                                    eligible=eligible)
-                self._g_depth.inc()
+                if not quiet:
+                    eligible = element.send_time <= eligibility_now
+                    self._resident[element.flow_id] = (now, eligible)
+                    self.tracer.enqueue(now, element.flow_id,
+                                        element.rank, element.send_time,
+                                        requeue=True, eligible=eligible)
+                    self._g_depth.inc()
                 return []
             self.decisions += 1
-            flow = self.get_flow(element.flow_id)
-            self.algorithm.post_dequeue(ctx, flow)
+            flow = flows.get(element.flow_id)
+            if flow is None:
+                raise UnknownFlowError(
+                    f"unknown flow {element.flow_id!r}")
+            post_dequeue(ctx, flow)
             if ctx.sent:
                 return ctx.sent
             if ctx.subtree_blocked:
+                if blocked_subtrees is None:
+                    blocked_subtrees = set()
                 blocked_subtrees.add(element.flow_id)
         raise SimulationError(
             f"{self.MAX_ZERO_OUTPUT_DECISIONS} consecutive scheduling "
@@ -363,6 +419,8 @@ class PieoScheduler:
         self.ordered_list.enqueue(Element(
             flow_id=flow.flow_id, rank=rank, send_time=send_time,
             group=flow.group, payload=flow))
+        if self._quiet:
+            return
         eligible = send_time <= self._eligibility_threshold(now)
         self._resident[flow.flow_id] = (now, eligible)
         self.tracer.enqueue(now, flow.flow_id, rank, send_time,
@@ -375,7 +433,7 @@ class PieoScheduler:
         """ordered_list.dequeue(f) with observability (alarm/pause/
         asynchronous extracts)."""
         element = self.ordered_list.dequeue_flow(flow_id)
-        if element is not None:
+        if element is not None and not self._quiet:
             self.tracer.dequeue(now, element.flow_id, element.rank,
                                 op="dequeue_flow",
                                 send_time=element.send_time,
@@ -393,6 +451,14 @@ class PieoScheduler:
             self._list_enqueue(flow, head.rank, head.send_time,
                                now=ctx.now)
             return
-        requeue_ctx = SchedulerContext(self, ctx.now, reason="requeue")
+        # One requeue context per scheduler, refreshed per call: this
+        # runs once per transmitted packet and pre_enqueue functions do
+        # not retain the context beyond the call.
+        requeue_ctx = self._requeue_ctx
+        if requeue_ctx is None:
+            requeue_ctx = SchedulerContext(self, ctx.now, reason="requeue")
+            self._requeue_ctx = requeue_ctx
+        requeue_ctx.now = ctx.now
         requeue_ctx.sent = ctx.sent
+        requeue_ctx.subtree_blocked = False
         self.algorithm.pre_enqueue(requeue_ctx, flow)

@@ -63,8 +63,8 @@ class LogicalPieoView(PieoList):
                 if element.group == self._group_id]
 
     def __contains__(self, flow_id: Hashable) -> bool:
-        return any(element.flow_id == flow_id
-                   for element in self.snapshot())
+        element = self._physical.find(flow_id)
+        return element is not None and element.group == self._group_id
 
     def enqueue(self, element: Element) -> None:
         element.group = self._group_id
@@ -86,10 +86,10 @@ class LogicalPieoView(PieoList):
             now, group_range=(self._group_id, self._group_id))
 
     def dequeue_flow(self, flow_id: Hashable) -> Optional[Element]:
-        for element in self.snapshot():
-            if element.flow_id == flow_id:
-                return self._physical.dequeue_flow(flow_id)
-        return None
+        element = self._physical.find(flow_id)
+        if element is None or element.group != self._group_id:
+            return None
+        return self._physical.dequeue_flow(flow_id)
 
     def min_send_time(self) -> Time:
         times = [element.send_time for element in self.snapshot()]
@@ -115,6 +115,7 @@ class SchedNode:
         self.children: Dict[Hashable, object] = {}
         self.scheduler: Optional[PieoScheduler] = None  # set by the tree
         self.depth = 0
+        self._peek_ctx: Optional[SchedulerContext] = None
 
     # -- tree construction -------------------------------------------------
     def add_child(self, child) -> None:
@@ -126,6 +127,13 @@ class SchedNode:
             child.parent = self
 
     # -- FlowQueue duck interface used by the parent's algorithm -----------
+    @property
+    def queue(self) -> bool:
+        """Truthy iff the subtree holds packets (mirrors the truthiness
+        of :attr:`FlowQueue.queue`, which algorithms use as a fast
+        backlog test)."""
+        return not self.is_empty
+
     @property
     def is_empty(self) -> bool:
         """True when no descendant flow queue holds a packet."""
@@ -144,7 +152,7 @@ class SchedNode:
         child = self._peek_child()
         if child is None:
             return MTU_BYTES
-        return child.head_size() if child.head_size() else MTU_BYTES
+        return child.head_size() or MTU_BYTES
 
     @property
     def backlog_bytes(self) -> int:
@@ -156,10 +164,17 @@ class SchedNode:
         return child.head if child is not None else None
 
     def _peek_child(self):
-        if self.scheduler is None:
+        scheduler = self.scheduler
+        if scheduler is None:
             return None
-        ctx = SchedulerContext(self.scheduler, 0.0, reason="peek")
-        element = self.scheduler.ordered_list.peek(
+        # The peek context is stateless for eligibility_time (it only
+        # reads now/virtual_time), so one cached instance serves every
+        # peek instead of an allocation per head_size() probe.
+        ctx = self._peek_ctx
+        if ctx is None:
+            ctx = self._peek_ctx = SchedulerContext(scheduler, 0.0,
+                                                    reason="peek")
+        element = scheduler.ordered_list.peek(
             self.algorithm.eligibility_time(ctx))
         if element is None:
             return None
@@ -222,6 +237,15 @@ class HierarchicalScheduler:
         self.flows: Dict[Hashable, FlowQueue] = {}
         self.decisions = 0
         self._wire(root, depth=0)
+        #: Static (physical list, group id) pairs for the wall-time-based
+        #: nodes, precomputed so the retry-timer scan in
+        #: :meth:`next_eligible_time` avoids re-walking the tree and
+        #: building per-node filtered snapshots.
+        self._wall_scans: List[Tuple[PieoList, int]] = [
+            (node.scheduler.ordered_list._physical,
+             node.scheduler.ordered_list._group_id)
+            for node in self._all_nodes(root)
+            if node.algorithm.time_base is TimeBase.WALL]
 
     # ------------------------------------------------------------------
     # Construction
@@ -292,12 +316,12 @@ class HierarchicalScheduler:
         ancestor's own (future) send time is the real wake-up point.
         """
         earliest = math.inf
-        for node in self._all_nodes(self.root):
-            if node.algorithm.time_base is not TimeBase.WALL:
-                continue
-            for element in node.scheduler.ordered_list.snapshot():
-                if now < element.send_time < earliest:
-                    earliest = element.send_time
+        for physical, group_id in self._wall_scans:
+            for element in physical.snapshot():
+                if element.group == group_id:
+                    send_time = element.send_time
+                    if now < send_time < earliest:
+                        earliest = send_time
         return earliest
 
     # ------------------------------------------------------------------

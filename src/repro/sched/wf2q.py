@@ -27,7 +27,6 @@ from __future__ import annotations
 from repro.sched.base import SchedulingAlgorithm, TimeBase
 from repro.sched.framework import SchedulerContext
 from repro.sim.flow import FlowQueue
-from repro.sched.wfq import flow_rate_bps
 
 
 class WorstCaseFairWeightedFairQueuing(SchedulingAlgorithm):
@@ -44,8 +43,10 @@ class WorstCaseFairWeightedFairQueuing(SchedulingAlgorithm):
         else:
             # Fig. 2a: if enqueue into empty flow queue.
             start = max(finish, ctx.virtual_time)
-        rate = flow_rate_bps(ctx, flow)
-        finish = start + flow.head_size() * 8 / rate
+        # flow_rate_bps(ctx, flow), inlined: this runs once per
+        # transmitted packet.
+        finish = start + (flow.head_size() * 8
+                          / (ctx.link_rate_bps * flow.weight))
         flow.state["start_time"] = start
         flow.state["finish_time"] = finish
         ctx.enqueue(flow, rank=finish, send_time=start)
@@ -57,15 +58,20 @@ class WorstCaseFairWeightedFairQueuing(SchedulingAlgorithm):
             ctx.reenqueue(flow)
         # Fig. 2a virtual-time update, with the served flow's start time
         # already advanced (Bennett & Zhang's B(t) is evaluated after the
-        # departure).
-        backlogged = ctx.backlogged_flows()
-        if backlogged:
-            min_start = min(f.state.get("start_time", 0.0)
-                            for f in backlogged)
-            ctx.virtual_time = max(ctx.virtual_time + transmission,
-                                   min_start)
-        else:
-            ctx.virtual_time += transmission
+        # departure).  Single pass over the flows: vt = max(vt + x,
+        # min start time over backlogged flows), no intermediate lists.
+        virtual_time = ctx.virtual_time + transmission
+        min_start = None
+        for other in ctx.flows.values():
+            # ``queue`` truthiness == backlogged; a plain attribute on
+            # FlowQueue, so this pass skips the is_empty property call.
+            if other.queue:
+                start = other.state.get("start_time", 0.0)
+                if min_start is None or start < min_start:
+                    min_start = start
+        if min_start is not None and min_start > virtual_time:
+            virtual_time = min_start
+        ctx.virtual_time = virtual_time
 
 
 #: Short alias used throughout tests and benchmarks.

@@ -14,6 +14,17 @@ request, the full retry-timer lifecycle (``timer_arm`` /
 :class:`repro.obs.metrics.MetricsRegistry` additionally aggregates
 arrival/departure counters, backlog gauges, the ``schedule()``-batch-size
 histogram, and the wall-clock latency of each ``schedule()`` call.
+
+Fast path: when the run is completely unobserved (engine and simulator
+both on the null tracer/metrics), the engine *drains* — one timer
+callback transmits consecutive single-packet dequeues back to back,
+advancing the clock through :meth:`Simulator.advance_to` instead of
+scheduling one timer event per packet.  The drain falls back to the
+event-driven tail the moment any pending event would interleave, so the
+Recorder output (order, times, packet ids) is bit-identical to the
+unbatched path; only ``events_fired`` accounting is condensed (each
+successful advance still counts as one event).  Pass ``drain=False`` to
+force the reference loop, ``drain=True`` to force draining.
 """
 
 from __future__ import annotations
@@ -44,13 +55,23 @@ class TransmitEngine:
 
     def __init__(self, sim: Simulator, scheduler, link: Link,
                  recorder: Optional[Recorder] = None,
-                 tracer=None, metrics=None) -> None:
+                 tracer=None, metrics=None,
+                 drain: Optional[bool] = None) -> None:
         self.sim = sim
         self.scheduler = scheduler
         self.link = link
         self.recorder = recorder if recorder is not None else Recorder()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._traced = self.tracer is not NULL_TRACER
+        self._metered = self.metrics is not NULL_METRICS
+        if drain is None:
+            # Auto: drain only when nothing observes the event-level
+            # behaviour the drain condenses.
+            drain = (not self._traced and not self._metered
+                     and sim.tracer is NULL_TRACER
+                     and sim.metrics is NULL_METRICS)
+        self.drain_enabled = bool(drain)
         #: Per-flow departure callbacks (e.g. BackloggedSource refills).
         self.departure_listeners: Dict[Hashable,
                                        Callable[[], None]] = {}
@@ -75,13 +96,16 @@ class TransmitEngine:
     # ------------------------------------------------------------------
     def arrival_sink(self, flow_id: Hashable, packet: Packet) -> None:
         """Feed a packet in (plug this into the traffic generators)."""
-        packet.arrival_time = self.sim.now
-        self.tracer.arrival(self.sim.now, flow_id, packet.size_bytes,
-                            packet.packet_id)
-        self._c_arrivals.inc()
-        self._g_backlog_pkts.inc()
-        self._g_backlog_bytes.inc(packet.size_bytes)
-        self.scheduler.on_arrival(flow_id, packet, self.sim.now)
+        now = self.sim.now
+        packet.arrival_time = now
+        if self._traced:
+            self.tracer.arrival(now, flow_id, packet.size_bytes,
+                                packet.packet_id)
+        if self._metered:
+            self._c_arrivals.inc()
+            self._g_backlog_pkts.inc()
+            self._g_backlog_bytes.inc(packet.size_bytes)
+        self.scheduler.on_arrival(flow_id, packet, now)
         self.kick()
 
     def add_departure_listener(self, flow_id: Hashable,
@@ -93,10 +117,15 @@ class TransmitEngine:
         if self._kick_pending:
             return
         self._kick_pending = True
-        at = max(self.sim.now, self.link.busy_until)
-        self.tracer.kick(self.sim.now, at=at)
-        self._c_kicks.inc()
-        self.sim.schedule(at, self._try_transmit)
+        sim = self.sim
+        at = self.link.busy_until
+        if at < sim.now:
+            at = sim.now
+        if self._traced:
+            self.tracer.kick(sim.now, at=at)
+        if self._metered:
+            self._c_kicks.inc()
+        sim.schedule(at, self._try_transmit)
 
     # ------------------------------------------------------------------
     # The scheduling loop
@@ -108,15 +137,71 @@ class TransmitEngine:
             self.kick()
             return
         self._cancel_retry(now)
-        start = time.perf_counter()
-        packets = self.scheduler.schedule(now)
-        self._h_schedule_us.observe(
-            (time.perf_counter() - start) * 1e6)
-        self._h_batch.observe(len(packets))
+        if self.drain_enabled:
+            self._drain(now)
+            return
+        if self._metered:
+            start = time.perf_counter()
+            packets = self.scheduler.schedule(now)
+            self._h_schedule_us.observe(
+                (time.perf_counter() - start) * 1e6)
+            self._h_batch.observe(len(packets))
+        else:
+            packets = self.scheduler.schedule(now)
         if packets:
             self._transmit_batch(packets, now)
             return
         self._arm_retry(now)
+
+    def _drain(self, now: float) -> None:
+        """Fast path: transmit consecutive single-packet dequeues in one
+        callback, advancing the clock between them.
+
+        Equivalence with the event-driven loop (which this replaces only
+        on unobserved runs): each iteration plays the ``listener event →
+        _try_transmit event`` pair the unbatched path would schedule at
+        the packet's finish time.  ``advance_to`` refuses whenever any
+        pending event fires at or before the finish instant (or the run
+        horizon / event budget is hit), in which case the loop schedules
+        exactly the events the unbatched path would have and exits —
+        so interleaving, and hence Recorder output, never changes.
+        """
+        sim = self.sim
+        schedule = self.scheduler.schedule
+        link_transmit = self.link.transmit
+        record = self.recorder.record
+        listeners = self.departure_listeners
+        advance = sim.advance_to
+        while True:
+            packets = schedule(now)
+            if not packets:
+                self._arm_retry(now)
+                return
+            if len(packets) != 1:
+                self._transmit_batch(packets, now)
+                return
+            packet = packets[0]
+            finish = link_transmit(packet, now)
+            packet.departure_time = finish
+            record(now, packet.flow_id, packet.size_bytes,
+                   packet.packet_id)
+            listener = listeners.get(packet.flow_id)
+            if not advance(finish):
+                # Event-driven tail, exactly as _transmit_batch does it:
+                # listener first, then the re-kick, so pending events at
+                # earlier instants interleave identically.
+                if listener is not None:
+                    sim.schedule(finish, listener)
+                self.kick()
+                return
+            now = finish
+            if listener is not None:
+                # The unbatched path runs the listener while the re-kick
+                # is still pending, so arrivals it triggers must not
+                # double-kick.
+                self._kick_pending = True
+                listener()
+                self._kick_pending = False
 
     def _transmit_batch(self, packets: List[Packet], now: float) -> None:
         # A retry timer armed for a now-stale eligibility instant must not
@@ -125,31 +210,41 @@ class TransmitEngine:
         # spurious extra schedule() probe between batches).
         self._cancel_retry(now)
         start = now
+        traced = self._traced
+        metered = self._metered
+        link_transmit = self.link.transmit
+        record = self.recorder.record
+        listeners = self.departure_listeners
+        sim_schedule = self.sim.schedule
         for packet in packets:
-            finish = self.link.transmit(packet, start)
+            finish = link_transmit(packet, start)
             packet.departure_time = finish
-            self.recorder.record(start, packet.flow_id, packet.size_bytes,
-                                 packet.packet_id)
-            self.tracer.departure(start, packet.flow_id,
-                                  packet.size_bytes, packet.packet_id,
-                                  finish=finish,
-                                  arrival_t=packet.arrival_time)
-            self._c_departures.inc()
-            self._g_backlog_pkts.dec()
-            self._g_backlog_bytes.dec(packet.size_bytes)
-            listener = self.departure_listeners.get(packet.flow_id)
+            record(start, packet.flow_id, packet.size_bytes,
+                   packet.packet_id)
+            if traced:
+                self.tracer.departure(start, packet.flow_id,
+                                      packet.size_bytes, packet.packet_id,
+                                      finish=finish,
+                                      arrival_t=packet.arrival_time)
+            if metered:
+                self._c_departures.inc()
+                self._g_backlog_pkts.dec()
+                self._g_backlog_bytes.dec(packet.size_bytes)
+            listener = listeners.get(packet.flow_id)
             if listener is not None:
-                self.sim.schedule(finish, listener)
+                sim_schedule(finish, listener)
             start = finish
-        self.tracer.link_idle(start)
+        if traced:
+            self.tracer.link_idle(start)
         # Link idle again at the end of the batch: schedule the next try.
         self.kick()
 
     def _cancel_retry(self, now: float) -> None:
         if self._retry_handle is not None:
             self._retry_handle.cancel()
-            self.tracer.timer_cancel(now, self._retry_timer_id,
-                                     scope="engine.retry")
+            if self._traced:
+                self.tracer.timer_cancel(now, self._retry_timer_id,
+                                         scope="engine.retry")
             self._retry_handle = None
             self._retry_timer_id = None
 
@@ -165,17 +260,20 @@ class TransmitEngine:
             # waiting for the next arrival.
             return
         self._retry_timer_id = next(self._retry_ids)
-        self.tracer.timer_arm(now, self._retry_timer_id,
-                              deadline=wake_at, scope="engine.retry")
-        self._c_retry_arms.inc()
+        if self._traced:
+            self.tracer.timer_arm(now, self._retry_timer_id,
+                                  deadline=wake_at, scope="engine.retry")
+        if self._metered:
+            self._c_retry_arms.inc()
         self._retry_handle = self.sim.schedule(wake_at, self._on_retry)
 
     def _on_retry(self) -> None:
         """The armed retry timer fired: it is spent, so drop the handle
         before kicking (otherwise a later cancel() would be a no-op on a
         dead event while a fresh timer goes untracked)."""
-        self.tracer.timer_fire(self.sim.now, self._retry_timer_id,
-                               scope="engine.retry")
+        if self._traced:
+            self.tracer.timer_fire(self.sim.now, self._retry_timer_id,
+                                   scope="engine.retry")
         self._retry_handle = None
         self._retry_timer_id = None
         self.kick()

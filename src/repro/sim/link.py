@@ -31,6 +31,7 @@ class Link:
         self.packets_sent = 0
         self.busy_time = 0.0
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._traced = self.tracer is not NULL_TRACER
 
     def transmission_time(self, packet: Packet) -> float:
         """Serialization delay of ``packet`` in seconds."""
@@ -41,18 +42,20 @@ class Link:
 
     def transmit(self, packet: Packet, now: float) -> float:
         """Start transmitting ``packet`` at ``now``; returns finish time."""
-        if not self.is_idle(now):
+        if now < self.busy_until:
             raise RuntimeError(
                 f"link busy until {self.busy_until}, cannot transmit at "
                 f"{now}")
-        duration = self.transmission_time(packet)
-        self.busy_until = now + duration
+        duration = packet.size_bits / self.rate_bps
+        finish = now + duration
+        self.busy_until = finish
         self.bytes_sent += packet.size_bytes
         self.packets_sent += 1
         self.busy_time += duration
-        self.tracer.link_busy(now, until=self.busy_until,
-                              flow_id=packet.flow_id)
-        return self.busy_until
+        if self._traced:
+            self.tracer.link_busy(now, until=finish,
+                                  flow_id=packet.flow_id)
+        return finish
 
     def utilization(self, elapsed: float) -> float:
         """Fraction of ``elapsed`` seconds the link spent transmitting."""

@@ -13,7 +13,18 @@ MTU_BYTES = 1500
 _packet_ids = itertools.count()
 
 
-@dataclass
+def reset_packet_ids(start: int = 0) -> None:
+    """Restart the global packet-id counter at ``start``.
+
+    Sweep runners call this per sweep point (with disjoint strides) so
+    packet ids are a function of the point alone — identical whether
+    points run sequentially or fanned across worker processes.
+    """
+    global _packet_ids
+    _packet_ids = itertools.count(start)
+
+
+@dataclass(slots=True)
 class Packet:
     """One packet resident in a flow queue.
 

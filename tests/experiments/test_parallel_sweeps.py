@@ -1,0 +1,77 @@
+"""Sweep determinism: --jobs N and --event-queue leave output identical.
+
+The contract (see :mod:`repro.experiments.runner`) is byte-identity:
+the rendered table AND the merged JSONL trace stream of a sharded sweep
+must equal the sequential run's, and the calendar event queue must
+reproduce the reference heap's results exactly.  Short durations keep
+the workloads CI-sized; identity is duration-independent because every
+sweep point reseeds its packet-id namespace from its index.
+"""
+
+import io
+
+import pytest
+
+from repro.experiments.fig11_rate_limit import rate_limit_table
+from repro.experiments.fig12_fair_queue import fair_queue_table
+from repro.experiments.runner import (POINT_ID_STRIDE, point_seed,
+                                      run_sweep)
+from repro.obs import Tracer
+
+DURATION = 0.001
+
+
+def _fig12(jobs, event_queue):
+    sink = io.StringIO()
+    tracer = Tracer(capacity=0, sink=sink)
+    table = fair_queue_table(sweep_gbps=(0.5, 2.0, 8.0),
+                            duration=DURATION, tracer=tracer,
+                            event_queue=event_queue, jobs=jobs)
+    return table.to_text(), sink.getvalue()
+
+
+def _fig11(jobs, event_queue):
+    sink = io.StringIO()
+    tracer = Tracer(capacity=0, sink=sink)
+    table = rate_limit_table(sweep_gbps=(0.5, 4.0), duration=DURATION,
+                             tracer=tracer, event_queue=event_queue,
+                             jobs=jobs)
+    return table.to_text(), sink.getvalue()
+
+
+def test_fig12_sharded_matches_sequential_bytes():
+    sequential_text, sequential_trace = _fig12(1, "reference")
+    sharded_text, sharded_trace = _fig12(2, "reference")
+    assert sharded_text == sequential_text
+    assert sharded_trace == sequential_trace
+    assert sequential_trace.count('"kind":"mark"') == 3  # one per point
+
+
+def test_fig12_calendar_matches_reference_bytes():
+    reference_text, reference_trace = _fig12(1, "reference")
+    calendar_text, calendar_trace = _fig12(2, "calendar")
+    assert calendar_text == reference_text
+    assert calendar_trace == reference_trace
+
+
+def test_fig11_sharded_calendar_matches_sequential_reference():
+    sequential = _fig11(1, "reference")
+    assert _fig11(2, "reference") == sequential
+    assert _fig11(2, "calendar") == sequential
+
+
+def test_point_seed_contract():
+    assert point_seed(0) == 0
+    assert point_seed(3) == 3 * POINT_ID_STRIDE
+    with pytest.raises(ValueError):
+        point_seed(-1)
+
+
+def test_run_sweep_preserves_spec_order():
+    specs = list(range(7))
+    assert run_sweep(_square, specs, jobs=1) == [n * n for n in specs]
+    assert run_sweep(_square, specs, jobs=3) == [n * n for n in specs]
+
+
+def _square(n):
+    return n * n

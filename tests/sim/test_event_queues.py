@@ -1,0 +1,238 @@
+"""Event-queue backends: differential, calendar-specific, and soak tests.
+
+The load-bearing property is that every registered backend fires events
+in exactly the (time, seq) order of the reference heap — including
+same-instant ties and lazily-cancelled entries — so simulation results
+are bit-identical across backends.  The hypothesis lockstep test below
+drives random schedule/cancel/advance programs through a Simulator per
+backend and compares the full firing logs.
+"""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry
+from repro.sim.events import (COMPACT_MIN_CANCELLED, CalendarEventQueue,
+                              HeapEventQueue, Simulator,
+                              available_event_queues, get_event_queue,
+                              make_event_queue, register_event_queue)
+
+BACKENDS = ("reference", "calendar")
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_registry_lists_both_backends():
+    assert set(BACKENDS) <= set(available_event_queues())
+    assert get_event_queue("reference").factory is HeapEventQueue
+    assert get_event_queue("calendar").factory is CalendarEventQueue
+
+
+def test_registry_rejects_unknown_and_duplicate_names():
+    with pytest.raises(ConfigurationError):
+        get_event_queue("nope")
+    with pytest.raises(ConfigurationError):
+        register_event_queue("reference", HeapEventQueue)
+
+
+def test_queue_config_reaches_factory():
+    queue = make_event_queue("calendar", bucket_width=1e-3)
+    assert queue._width == 1e-3
+    with pytest.raises(ConfigurationError):
+        Simulator(queue=HeapEventQueue(),
+                  queue_config={"bucket_width": 1e-3})
+
+
+# ----------------------------------------------------------------------
+# Both backends pass the simulator's basic contract
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_time_order_and_fifo_ties(backend):
+    sim = Simulator(queue=backend)
+    log = []
+    sim.schedule(2.0, lambda: log.append("late"))
+    for name in "abc":  # same instant: scheduling order
+        sim.schedule(1.0, lambda name=name: log.append(name))
+    sim.schedule(0.5, lambda: log.append("early"))
+    sim.run()
+    assert log == ["early", "a", "b", "c", "late"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cancel_then_fire_race(backend):
+    """Cancelling one of several same-instant entries must skip exactly
+    that one, even after a peek already surfaced the bucket."""
+    sim = Simulator(queue=backend)
+    log = []
+    doomed = sim.schedule(1.0, lambda: log.append("doomed"))
+    sim.schedule(1.0, lambda: log.append("kept"))
+    assert sim.peek_next_time() == 1.0  # may prune into the bucket
+    doomed.cancel()
+    assert sim.peek_next_time() == 1.0
+    sim.run()
+    assert log == ["kept"]
+    assert sim.pending_events == 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cancel_after_fire_is_noop(backend):
+    sim = Simulator(queue=backend)
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    handle.cancel()  # already fired: must not corrupt the gauges
+    assert sim.cancelled_events == 0
+
+
+# ----------------------------------------------------------------------
+# Calendar-queue specifics
+# ----------------------------------------------------------------------
+def test_calendar_bucket_width_validated():
+    for width in (0.0, -1.0, math.inf):
+        with pytest.raises(ConfigurationError):
+            CalendarEventQueue(bucket_width=width)
+
+
+def test_calendar_far_future_slot_is_clamped():
+    sim = Simulator(queue="calendar")
+    log = []
+    sim.schedule(1e300, lambda: log.append("far"))
+    sim.schedule(1.0, lambda: log.append("near"))
+    assert sim.peek_next_time() == 1.0
+    sim.run()
+    assert log == ["near", "far"]
+
+
+def test_calendar_cross_bucket_order():
+    """Entries microseconds apart land in different buckets but still
+    fire in time order; entries within one bucket order by (time, seq)."""
+    sim = Simulator(queue="calendar", queue_config={"bucket_width": 1e-6})
+    log = []
+    for t in (5e-6, 1e-7, 3e-6, 1.5e-7, 1e-7):
+        sim.schedule(t, lambda t=t: log.append(t))
+    sim.run()
+    assert log == [1e-7, 1e-7, 1.5e-7, 3e-6, 5e-6]
+
+
+def test_calendar_empty_bucket_is_reclaimed():
+    queue = CalendarEventQueue()
+    sim = Simulator(queue=queue)
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    assert len(queue._buckets) == 0
+    assert queue.resident == 0
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: lockstep differential
+# ----------------------------------------------------------------------
+# Delays below, at, and above the calendar bucket width (1 us), plus 0.0
+# so same-instant ties are common.
+_DELAYS = st.sampled_from(
+    [0.0, 1e-7, 1.5e-7, 5e-7, 1e-6, 1.5e-6, 3.7e-6, 1e-3])
+
+_COMMANDS = st.lists(
+    st.one_of(
+        st.tuples(st.just("schedule"), _DELAYS),
+        st.tuples(st.just("cancel"), st.integers(0, 63)),
+        st.tuples(st.just("advance"), _DELAYS),
+    ),
+    max_size=80)
+
+
+def _execute(backend, commands):
+    """Run one command program; returns (firing log, final now, fired).
+
+    Callbacks occasionally reschedule so the differential also covers
+    events scheduled from inside the dispatch loop.
+    """
+    sim = Simulator(queue=backend)
+    log = []
+    handles = []
+    labels = itertools.count()
+
+    def fire(label, delay):
+        log.append((label, sim.now))
+        if label % 7 == 3:  # deterministic in-callback reschedule
+            chained = next(labels)
+            handles.append(sim.schedule(
+                sim.now + delay, lambda: log.append((chained, sim.now))))
+
+    for command in commands:
+        kind, value = command
+        if kind == "schedule":
+            label = next(labels)
+            handles.append(sim.schedule(
+                sim.now + value, lambda l=label, d=value: fire(l, d)))
+        elif kind == "cancel":
+            if handles:
+                handles[value % len(handles)].cancel()
+        else:  # advance
+            sim.run_until(sim.now + value)
+    sim.run()
+    return log, sim.now, sim.events_fired
+
+
+@given(commands=_COMMANDS)
+@settings(max_examples=60, deadline=None)
+def test_backends_fire_identically(commands):
+    reference = _execute("reference", commands)
+    calendar = _execute("calendar", commands)
+    assert calendar == reference
+
+
+@given(commands=_COMMANDS, width=st.sampled_from([1e-7, 1e-6, 1e-4, 1.0]))
+@settings(max_examples=30, deadline=None)
+def test_calendar_order_independent_of_bucket_width(commands, width):
+    reference = _execute("reference", commands)
+    sim_result = _execute(
+        CalendarEventQueue(bucket_width=width), commands)
+    assert sim_result == reference
+
+
+# ----------------------------------------------------------------------
+# Soak: compaction bounds the resident set under cancel churn
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_compaction_bounds_resident_under_cancel_churn(backend):
+    """A retry-timer workload (arm, cancel, re-arm x5000) must not grow
+    the queue: lazy cancellation alone would retain every dead entry
+    until its time surfaced, but compaction rebuilds once dead entries
+    outnumber live ones.  The obs gauges see the same bound."""
+    metrics = MetricsRegistry()
+    sim = Simulator(queue=backend, metrics=metrics)
+    sim.schedule(1.0, lambda: None)  # one live keeper
+    peak_resident = 0
+    for _ in range(5_000):
+        handle = sim.schedule(0.5, lambda: None)
+        handle.cancel()
+        peak_resident = max(peak_resident, sim._queue.resident)
+    bound = 2 * COMPACT_MIN_CANCELLED + 8
+    assert peak_resident <= bound
+    assert sim.pending_events == 1
+    assert sim.cancelled_events <= bound
+    cancelled_gauge = metrics.gauge("sim.cancelled_events")
+    pending_gauge = metrics.gauge("sim.pending_events")
+    assert cancelled_gauge.max <= bound
+    assert pending_gauge.max <= bound
+    sim.run()
+    assert sim.pending_events == 0
+    assert pending_gauge.value == 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_tiny_queues_skip_compaction(backend):
+    """Below the absolute floor, cancellations stay lazily resident."""
+    sim = Simulator(queue=backend)
+    handles = [sim.schedule(1.0, lambda: None)
+               for _ in range(COMPACT_MIN_CANCELLED)]
+    for handle in handles:
+        handle.cancel()
+    assert sim.cancelled_events == COMPACT_MIN_CANCELLED
+    assert sim.pending_events == 0
