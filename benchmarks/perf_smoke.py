@@ -9,10 +9,14 @@ hot path.  The gated metric is
 
     normalized = (workload packets/sec) / (calibration Mops/sec)
 
-which cancels host speed to first order.  ``--check`` fails when the
-measured median drops more than 30% below the committed baseline in
-``bench_results/perf_smoke_baseline.json``; refresh the baseline with
-``--write-baseline`` after an intentional perf change.
+which cancels host speed to first order.  Two scenarios are gated
+independently: ``hier`` (the single-link fig12 fast configuration) and
+``incast`` (a 4-port shared-buffer dataplane under 2x oversubscription,
+exercising the classifier/admission/multi-engine path).  ``--check``
+fails when either measured median drops more than 30% below its
+committed baseline in ``bench_results/perf_smoke_baseline.json``;
+refresh the baseline with ``--write-baseline`` after an intentional
+perf change.
 
 Usage::
 
@@ -38,11 +42,15 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
 
 from repro.experiments.hier_common import (default_node_rates,  # noqa: E402
                                            run_hierarchy)
+from repro.experiments.incast import build_incast  # noqa: E402
+from repro.sim.events import Simulator  # noqa: E402
 from repro.sim.packet import reset_packet_ids  # noqa: E402
 
 BASELINE_PATH = (pathlib.Path(__file__).parent / "bench_results"
                  / "perf_smoke_baseline.json")
 DURATION = 0.003
+INCAST_DURATION = 0.002
+INCAST_BUFFER_KIB = 64
 ROUNDS = 3
 #: Fail --check when the median normalized score drops more than this
 #: fraction below the committed baseline.
@@ -66,7 +74,7 @@ def calibration_score(iterations: int = 300_000) -> float:
     return iterations / elapsed / 1e6
 
 
-def workload_pps() -> float:
+def hier_pps() -> float:
     """Packets/sec of the fast-config fig12 workload."""
     reset_packet_ids(0)
     start = time.perf_counter()
@@ -76,13 +84,41 @@ def workload_pps() -> float:
     return len(run.engine.recorder) / elapsed
 
 
-def measure(rounds: int = ROUNDS) -> float:
-    """Median normalized score over interleaved calibrate/run rounds."""
-    scores = []
+def _run_incast():
+    reset_packet_ids(0)
+    sim = Simulator(queue="calendar")
+    dataplane = build_incast(sim, buffer_bytes=INCAST_BUFFER_KIB * 1024,
+                             duration=INCAST_DURATION,
+                             drop_policy="longest-queue")
+    sim.run_until(INCAST_DURATION)
+    return dataplane
+
+
+def incast_pps() -> float:
+    """Processed packets/sec (admission decisions, i.e. arrivals) of a
+    4-port shared-buffer incast — the multi-engine dataplane path."""
+    start = time.perf_counter()
+    dataplane = _run_incast()
+    elapsed = time.perf_counter() - start
+    return dataplane.conservation()["arrivals"] / elapsed
+
+
+SCENARIOS = {
+    "hier": hier_pps,
+    "incast": incast_pps,
+}
+
+
+def measure(rounds: int = ROUNDS) -> dict:
+    """Median normalized score per scenario over interleaved
+    calibrate/run rounds."""
+    scores: dict = {name: [] for name in SCENARIOS}
     for _ in range(rounds):
-        calibration = calibration_score()
-        scores.append(workload_pps() / calibration)
-    return statistics.median(scores)
+        for name, workload in SCENARIOS.items():
+            calibration = calibration_score()
+            scores[name].append(workload() / calibration)
+    return {name: statistics.median(values)
+            for name, values in scores.items()}
 
 
 def write_profile(path: pathlib.Path) -> None:
@@ -111,10 +147,11 @@ def main(argv) -> int:
                         help="also write a cProfile summary to OUT")
     args = parser.parse_args(argv[1:])
 
-    score = measure()
-    print(f"normalized score: {score:.3f} "
-          f"(packets/sec per calibration Mops/sec, "
-          f"median of {ROUNDS} rounds)")
+    scores = measure()
+    for name, score in scores.items():
+        print(f"{name}: normalized score {score:.3f} "
+              f"(packets/sec per calibration Mops/sec, "
+              f"median of {ROUNDS} rounds)")
 
     if args.profile:
         write_profile(pathlib.Path(args.profile))
@@ -122,20 +159,26 @@ def main(argv) -> int:
     if args.write_baseline:
         BASELINE_PATH.parent.mkdir(exist_ok=True)
         BASELINE_PATH.write_text(json.dumps(
-            {"normalized_score": round(score, 3),
-             "duration": DURATION, "rounds": ROUNDS,
-             "tolerance": TOLERANCE}, indent=2) + "\n")
+            {"scenarios": {name: round(score, 3)
+                           for name, score in scores.items()},
+             "duration": DURATION, "incast_duration": INCAST_DURATION,
+             "rounds": ROUNDS, "tolerance": TOLERANCE},
+            indent=2) + "\n")
         print(f"baseline -> {BASELINE_PATH}")
         return 0
 
     if args.check:
         baseline = json.loads(BASELINE_PATH.read_text())
-        floor = baseline["normalized_score"] * (1.0 - TOLERANCE)
-        print(f"baseline {baseline['normalized_score']:.3f}, "
-              f"floor {floor:.3f}")
-        if score < floor:
-            print("FAIL: normalized throughput regressed more than "
-                  f"{TOLERANCE:.0%} below baseline")
+        failed = False
+        for name, reference in baseline["scenarios"].items():
+            floor = reference * (1.0 - TOLERANCE)
+            print(f"{name}: baseline {reference:.3f}, "
+                  f"floor {floor:.3f}")
+            if scores[name] < floor:
+                print(f"FAIL: {name} normalized throughput regressed "
+                      f"more than {TOLERANCE:.0%} below baseline")
+                failed = True
+        if failed:
             return 1
         print("OK")
     return 0

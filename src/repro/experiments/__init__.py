@@ -22,6 +22,7 @@ from repro.experiments.fig10_clock import clock_table
 from repro.experiments.fig11_rate_limit import (all_nodes_table,
                                                 rate_limit_table)
 from repro.experiments.fig12_fair_queue import fair_queue_table
+from repro.experiments.incast import incast_table
 from repro.experiments.pipeline_rate import pipeline_table
 from repro.experiments.runner import Table
 from repro.experiments.scalability import scalability_table
@@ -46,6 +47,7 @@ __all__ = [
     "all_nodes_table",
     "rate_limit_table",
     "fair_queue_table",
+    "incast_table",
     "Table",
     "scalability_table",
     "measured_cycles_per_op",
@@ -69,6 +71,7 @@ def all_tables():
         rate_limit_table(),
         all_nodes_table(),
         fair_queue_table(),
+        incast_table(),
         sublist_ablation_table(),
         approx_structures_table(),
         trigger_ablation_table(),

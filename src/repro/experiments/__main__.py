@@ -9,6 +9,9 @@ Usage::
     python -m repro.experiments fig11 --trace t.jsonl --metrics m.json
     python -m repro.experiments fig11 --trace t.jsonl --analyze
     python -m repro.experiments fig12 --event-queue calendar --jobs 4
+    python -m repro.experiments incast --ports 4 --drop-policy red
+    python -m repro.experiments incast --algorithm wfq --trace t.jsonl
+    python -m repro.experiments --list-algorithms
 
 ``--backend`` selects the ordered-list engine (from the
 :mod:`repro.core.backends` registry) for the experiments that exercise a
@@ -31,6 +34,14 @@ traced runs).  ``--analyze`` pipes the finished ``--trace`` file through
 experiments' points over N worker processes.  Both are
 result-preserving: tables and traces stay byte-identical to the
 defaults (DESIGN.md section 9).
+
+The multi-port incast experiment additionally honours ``--ports N``
+(output-port count), ``--drop-policy NAME`` (shared-buffer admission,
+from the :mod:`repro.sim.buffer` registry; see
+``--list-drop-policies``), and ``--algorithm NAME`` (per-port
+scheduler, from the :mod:`repro.sched.registry` catalogue; see
+``--list-algorithms``).  DESIGN.md section 10 covers the dataplane
+composition.
 """
 
 from __future__ import annotations
@@ -42,7 +53,8 @@ import sys
 from repro.experiments import (alms_table, all_nodes_table,
                                approx_structures_table, clock_table,
                                deviation_sweep, example_table,
-                               fair_queue_table, pipeline_table,
+                               fair_queue_table, incast_table,
+                               pipeline_table,
                                rate_limit_table, rate_table,
                                scalability_table,
                                shaping_comparison_table,
@@ -58,6 +70,7 @@ EXPERIMENTS = {
     "fig10": (clock_table,),
     "fig11": (rate_limit_table, all_nodes_table),
     "fig12": (fair_queue_table,),
+    "incast": (incast_table,),
     "rate": (rate_table, software_rate_table),
     "scalability": (scalability_table,),
     "ablation": (sublist_ablation_table, approx_structures_table,
@@ -77,7 +90,8 @@ def _print_charts() -> None:
 
 
 def _call(table_fn, backend, tracer=None, metrics=None, duration=None,
-          event_queue=None, jobs=None):
+          event_queue=None, jobs=None, ports=None, drop_policy=None,
+          algorithm=None):
     """Pass each option only to experiments that accept it, so the
     cycle-accurate tables stay untouched by the flags."""
     parameters = inspect.signature(table_fn).parameters
@@ -94,6 +108,12 @@ def _call(table_fn, backend, tracer=None, metrics=None, duration=None,
         kwargs["event_queue"] = event_queue
     if jobs is not None and "jobs" in parameters:
         kwargs["jobs"] = jobs
+    if ports is not None and "ports" in parameters:
+        kwargs["ports"] = ports
+    if drop_policy is not None and "drop_policy" in parameters:
+        kwargs["drop_policy"] = drop_policy
+    if algorithm is not None and "algorithm" in parameters:
+        kwargs["algorithm"] = algorithm
     return table_fn(**kwargs)
 
 
@@ -140,8 +160,26 @@ def main(argv) -> int:
     parser.add_argument(
         "--jobs", default=None, type=int, metavar="N",
         help="shard sweep points of sweep-style experiments (fig11, "
-             "fig12) over N worker processes; output is byte-identical "
-             "to --jobs 1")
+             "fig12, incast) over N worker processes; output is "
+             "byte-identical to --jobs 1")
+    parser.add_argument(
+        "--ports", default=None, type=int, metavar="N",
+        help="number of output ports for multi-port experiments "
+             "(incast; default 4)")
+    parser.add_argument(
+        "--drop-policy", default=None, metavar="NAME",
+        help="shared-buffer drop policy for multi-port experiments "
+             "(see --list-drop-policies)")
+    parser.add_argument(
+        "--list-drop-policies", action="store_true",
+        help="list registered shared-buffer drop policies and exit")
+    parser.add_argument(
+        "--algorithm", default=None, metavar="NAME",
+        help="per-port scheduling algorithm for experiments that "
+             "accept one (incast; see --list-algorithms)")
+    parser.add_argument(
+        "--list-algorithms", action="store_true",
+        help="list registered scheduling algorithms and exit")
     args = parser.parse_args(argv[1:])
 
     if args.list_backends:
@@ -155,6 +193,37 @@ def main(argv) -> int:
         for name in available_event_queues():
             print(f"{name:12s} {get_event_queue(name).description}")
         return 0
+    if args.list_drop_policies:
+        from repro.sim.buffer import (available_drop_policies,
+                                      get_drop_policy)
+        for name in available_drop_policies():
+            print(f"{name:14s} {get_drop_policy(name).description}")
+        return 0
+    if args.list_algorithms:
+        from repro.sched.registry import (available_algorithms,
+                                          get_algorithm)
+        for name in available_algorithms():
+            print(f"{name:16s} {get_algorithm(name).description}")
+        return 0
+    if args.drop_policy is not None:
+        from repro.errors import ConfigurationError
+        from repro.sim.buffer import get_drop_policy
+        try:
+            get_drop_policy(args.drop_policy)  # fail fast
+        except ConfigurationError as error:
+            print(error)
+            return 2
+    if args.algorithm is not None:
+        from repro.errors import ConfigurationError
+        from repro.sched.registry import get_algorithm
+        try:
+            get_algorithm(args.algorithm)  # fail fast
+        except ConfigurationError as error:
+            print(error)
+            return 2
+    if args.ports is not None and args.ports < 1:
+        print(f"--ports must be >= 1, got {args.ports}")
+        return 2
     if args.event_queue is not None:
         from repro.errors import ConfigurationError
         from repro.sim.events import get_event_queue
@@ -205,7 +274,9 @@ def main(argv) -> int:
                             metrics=metrics,
                             duration=args.duration,
                             event_queue=args.event_queue,
-                            jobs=args.jobs).to_text())
+                            jobs=args.jobs, ports=args.ports,
+                            drop_policy=args.drop_policy,
+                            algorithm=args.algorithm).to_text())
                 print()
     finally:
         if tracer is not None:

@@ -32,10 +32,12 @@ from repro.obs.export import (flow_report_json, perfetto_trace,
                               write_perfetto, write_prometheus)
 from repro.obs.metrics import (BATCH_BUCKETS, Counter, DEPTH_BUCKETS,
                                Gauge, Histogram, LATENCY_BUCKETS_US,
-                               LogHistogram, MetricsRegistry)
+                               LogHistogram, MetricsRegistry,
+                               ScopedMetrics, scoped)
 from repro.obs.scope import (NULL_METRICS, NULL_SPAN, NULL_TRACER,
                              NullMetrics, NullSpan, NullTracer, Span)
-from repro.obs.trace import (EVENT_KINDS, TraceEvent, Tracer, read_jsonl)
+from repro.obs.trace import (EVENT_KINDS, LabelledTracer, TraceEvent,
+                             Tracer, labelled, read_jsonl)
 from repro.obs.traced_list import TracedList
 
 __all__ = [
@@ -47,6 +49,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "LATENCY_BUCKETS_US",
+    "LabelledTracer",
     "LogHistogram",
     "MetricsRegistry",
     "NULL_METRICS",
@@ -57,6 +60,7 @@ __all__ = [
     "NullTracer",
     "PacketTimeline",
     "Run",
+    "ScopedMetrics",
     "Span",
     "TraceAnalysis",
     "TraceEvent",
@@ -64,10 +68,12 @@ __all__ = [
     "Tracer",
     "analyze_path",
     "flow_report_json",
+    "labelled",
     "perfetto_trace",
     "prometheus_from_snapshot",
     "prometheus_text",
     "read_jsonl",
+    "scoped",
     "split_runs",
     "write_perfetto",
     "write_prometheus",

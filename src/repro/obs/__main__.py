@@ -106,6 +106,21 @@ def _cmd_summarize(args) -> int:
         print(f"== {run.title}: {len(run.events)} events, "
               f"{delivered} delivered, {dropped} dropped, "
               f"span {span * 1e3:.3f} ms")
+        ports = analysis.port_summary()
+        if any(port is not None for port in ports):
+            for port, stats in sorted(ports.items(),
+                                      key=lambda item: str(item[0])):
+                label = "(unlabelled)" if port is None \
+                    else f"port {port}"
+                reasons = ", ".join(
+                    f"{reason}={count}" for reason, count in
+                    sorted(stats["drop_reasons"].items()))
+                suffix = f" [{reasons}]" if reasons else ""
+                print(f"   {label}: {stats['arrivals']} arrived, "
+                      f"{stats['delivered']} delivered, "
+                      f"{stats['drops']} dropped, "
+                      f"{stats['throughput_bps'] / 1e9:.4f} "
+                      f"gbps{suffix}")
         table = _flow_table(run, analysis, None, percentiles=False)
         if table.rows:
             print(table.to_text())

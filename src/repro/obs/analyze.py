@@ -138,6 +138,7 @@ class Episode:
     eligible_on_enqueue: bool = True
     eligible_at: Optional[float] = None
     requeue: bool = False
+    port: Optional[str] = None
 
     def ineligible_interval(self) -> Optional[Tuple[float, float, bool]]:
         """``(start, end, exact)`` during which the element sat
@@ -163,6 +164,7 @@ class PacketTimeline:
     packet_id: Optional[int]
     flow_id: Hashable
     size_bytes: int = 0
+    port: Optional[str] = None
     arrival_t: Optional[float] = None
     depart_start: Optional[float] = None
     depart_end: Optional[float] = None
@@ -184,6 +186,7 @@ class PacketTimeline:
             "packet_id": self.packet_id,
             "flow_id": self.flow_id,
             "size_bytes": self.size_bytes,
+            "port": self.port,
             "arrival_t": self.arrival_t,
             "depart_start": self.depart_start,
             "depart_end": self.depart_end,
@@ -212,6 +215,7 @@ class FlowReport:
     """Aggregate per-flow view over one run."""
 
     flow_id: Hashable
+    port: Optional[str] = None
     packets: int = 0
     drops: int = 0
     bytes: int = 0
@@ -230,6 +234,7 @@ class FlowReport:
     def to_dict(self) -> Dict[str, object]:
         return {
             "flow_id": self.flow_id,
+            "port": self.port,
             "packets": self.packets,
             "drops": self.drops,
             "bytes": self.bytes,
@@ -334,8 +339,12 @@ class TraceAnalysis:
             defaultdict(list)
         self._arrival_times: Dict[Hashable, List[float]] = \
             defaultdict(list)
+        #: ``(t, flow_id, size, packet_id, finish, port)`` per
+        #: departure; ``port`` is None on unlabelled (single-link)
+        #: traces.
         self._departure_events: List[Tuple[float, Hashable, int,
-                                           Optional[int], float]] = []
+                                           Optional[int], float,
+                                           Optional[str]]] = []
         self._dequeue_times: Dict[Hashable, List[float]] = \
             defaultdict(list)
         self._op_counts: Dict[Hashable, int] = defaultdict(int)
@@ -379,7 +388,8 @@ class TraceAnalysis:
         packet_id = record.get("packet_id")
         timeline = PacketTimeline(
             packet_id=packet_id, flow_id=flow_id,
-            size_bytes=record.get("size_bytes") or 0, arrival_t=t)
+            size_bytes=record.get("size_bytes") or 0,
+            port=record.get("port"), arrival_t=t)
         if packet_id is not None:
             if packet_id in self._packets:
                 self._error(f"duplicate arrival for packet {packet_id}")
@@ -405,7 +415,8 @@ class TraceAnalysis:
             rank=record.get("rank"),
             eligible_on_enqueue=(True if eligible is None
                                  else bool(eligible)),
-            requeue=bool(record.get("requeue")))
+            requeue=bool(record.get("requeue")),
+            port=record.get("port"))
         self.open_episodes[flow_id] = episode
 
     def _on_dequeue(self, t: float, record: Dict[str, object]) -> None:
@@ -459,9 +470,11 @@ class TraceAnalysis:
             return
         timeline.depart_start = t
         timeline.depart_end = finish
+        if timeline.port is None:
+            timeline.port = record.get("port")
         self._departure_order[flow_id].append(packet_id)
         self._departure_events.append(
-            (t, flow_id, size, packet_id, finish))
+            (t, flow_id, size, packet_id, finish, record.get("port")))
 
     def _on_drop(self, t: float, record: Dict[str, object]) -> None:
         flow_id = record.get("flow_id")
@@ -477,6 +490,8 @@ class TraceAnalysis:
         timeline.dropped = True
         timeline.drop_t = t
         timeline.drop_reason = str(record.get("reason", ""))
+        if timeline.port is None:
+            timeline.port = record.get("port")
 
     # ------------------------------------------------------------------
     # Attribution
@@ -545,14 +560,14 @@ class TraceAnalysis:
         trace's ``departure`` events — rate/ordering views come from one
         source of truth instead of a second bookkeeping path."""
         recorder = Recorder()
-        for t, flow_id, size, packet_id, _finish in \
+        for t, flow_id, size, packet_id, _finish, _port in \
                 self._departure_events:
             recorder.record(t, flow_id, size,
                             packet_id if packet_id is not None else -1)
         return recorder
 
     def order(self) -> List[Hashable]:
-        return [flow_id for _, flow_id, _, _, _
+        return [flow_id for _, flow_id, _, _, _, _
                 in self._departure_events]
 
     def rate_bps(self, **kwargs) -> Dict[Hashable, float]:
@@ -583,6 +598,9 @@ class TraceAnalysis:
                          if timeline.delivered
                          and timeline.latency is not None]
             report = FlowReport(flow_id=flow_id)
+            report.port = next(
+                (timeline.port for timeline in timelines
+                 if timeline.port is not None), None)
             report.drops = sum(1 for timeline in timelines
                                if timeline.dropped)
             report.packets = len(delivered)
@@ -614,6 +632,46 @@ class TraceAnalysis:
             report.starved = flow_id in starved
             reports[flow_id] = report
         return reports
+
+    # ------------------------------------------------------------------
+    # Per-port aggregates (multi-port dataplane traces)
+    # ------------------------------------------------------------------
+    def port_summary(self) -> Dict[Optional[str], Dict[str, object]]:
+        """Aggregate per-port view: arrivals, deliveries, drops (with
+        per-reason counts), bytes and throughput.  Unlabelled events
+        aggregate under the ``None`` port (single-link traces produce
+        exactly that one entry)."""
+        span_start = self.t_min if self.t_min is not None else 0.0
+        span_end = self.t_max if self.t_max is not None else 0.0
+        span = max(span_end - span_start, 0.0)
+        summary: Dict[Optional[str], Dict[str, object]] = {}
+
+        def entry(port: Optional[str]) -> Dict[str, object]:
+            record = summary.get(port)
+            if record is None:
+                record = summary[port] = {
+                    "arrivals": 0, "delivered": 0, "drops": 0,
+                    "bytes": 0, "throughput_bps": 0.0,
+                    "drop_reasons": {},
+                }
+            return record
+
+        for timeline in self.timelines:
+            record = entry(timeline.port)
+            if timeline.arrival_t is not None:
+                record["arrivals"] += 1
+            if timeline.delivered:
+                record["delivered"] += 1
+                record["bytes"] += timeline.size_bytes
+            if timeline.dropped:
+                record["drops"] += 1
+                reasons = record["drop_reasons"]
+                reason = timeline.drop_reason or "(unspecified)"
+                reasons[reason] = reasons.get(reason, 0) + 1
+        if span > 0:
+            for record in summary.values():
+                record["throughput_bps"] = record["bytes"] * 8 / span
+        return summary
 
     # ------------------------------------------------------------------
     # Fairness / throughput over sliding windows
@@ -792,21 +850,25 @@ class TraceAnalysis:
         return issues
 
     def _audit_link_overlap(self) -> List[Issue]:
-        """The link serializes one packet at a time: departure windows
-        must not overlap."""
+        """Each link serializes one packet at a time: departure windows
+        must not overlap *per port* (an unlabelled trace is one link;
+        a multi-port trace is audited per ``port`` label — cross-port
+        windows legitimately overlap in wall time)."""
         issues: List[Issue] = []
-        last_finish = None
-        overlaps = 0
-        for t, _flow_id, _size, _packet_id, finish in \
+        last_finish: Dict[Optional[str], float] = {}
+        overlaps: Dict[Optional[str], int] = defaultdict(int)
+        for t, _flow_id, _size, _packet_id, finish, port in \
                 self._departure_events:
-            if last_finish is not None \
-                    and t < last_finish - TIME_EPSILON:
-                overlaps += 1
-            last_finish = finish
-        if overlaps:
+            previous = last_finish.get(port)
+            if previous is not None and t < previous - TIME_EPSILON:
+                overlaps[port] += 1
+            last_finish[port] = finish
+        for port, count in sorted(overlaps.items(),
+                                  key=lambda item: str(item[0])):
+            where = f"port {port} link" if port is not None else "the link"
             issues.append(Issue(
                 "error",
-                f"{overlaps} departure(s) started while the link was "
+                f"{count} departure(s) started while {where} was "
                 "still serializing the previous packet"))
         return issues
 

@@ -136,19 +136,34 @@ def perfetto_trace(analysis: TraceAnalysis,
     """Build a Chrome/Perfetto ``trace_event`` JSON object from an
     analyzed run.
 
-    One track (tid) per flow or hierarchy node; complete ``X`` events
+    One *process* (pid) per dataplane port — events without a ``port``
+    label (single-link traces) share one process, so single-port traces
+    render exactly as before, while a multi-port trace shows each
+    port's flows as a separate named process group.  Within a process:
+    one track (tid) per flow or hierarchy node; complete ``X`` events
     (begin + duration, so begin/end are balanced by construction) for
     ordered-list residences (``queued``) and wire serializations
     (``tx``); instant events for drops and engine kicks.  Events are
     sorted by timestamp, so every track is monotonic.
     """
-    track_ids: Dict[Hashable, int] = {_ENGINE_TRACK: 0}
+    pids: Dict[Optional[str], int] = {}
+    track_ids: Dict[tuple, int] = {}
 
-    def track_of(flow_id: Hashable) -> int:
-        tid = track_ids.get(flow_id)
+    def pid_of(port: Optional[str]) -> int:
+        pid = pids.get(port)
+        if pid is None:
+            pid = pids[port] = len(pids) + 1
+        return pid
+
+    def track_of(port: Optional[str], name: Hashable) -> int:
+        key = (port, name)
+        tid = track_ids.get(key)
         if tid is None:
-            tid = track_ids[flow_id] = len(track_ids)
+            tid = track_ids[key] = len(track_ids)
         return tid
+
+    # The engine track comes first (tid 0), as in single-link exports.
+    track_of(None, _ENGINE_TRACK)
 
     t0 = analysis.t_min if analysis.t_min is not None else 0.0
     events: List[Dict[str, object]] = []
@@ -169,7 +184,9 @@ def perfetto_trace(analysis: TraceAnalysis,
             "ts": us(episode.enqueue_t),
             "dur": max(round((episode.dequeue_t - episode.enqueue_t)
                              * _US, 3), 0.0),
-            "pid": 1, "tid": track_of(episode.flow_id), "args": args,
+            "pid": pid_of(episode.port),
+            "tid": track_of(episode.port, episode.flow_id),
+            "args": args,
         })
     for timeline in analysis.timelines:
         if timeline.delivered:
@@ -178,7 +195,8 @@ def perfetto_trace(analysis: TraceAnalysis,
                 "ph": "X", "ts": us(timeline.depart_start),
                 "dur": max(round(timeline.serialization * _US, 3),
                            0.0),
-                "pid": 1, "tid": track_of(timeline.flow_id),
+                "pid": pid_of(timeline.port),
+                "tid": track_of(timeline.port, timeline.flow_id),
                 "args": {
                     "size_bytes": timeline.size_bytes,
                     "latency_us": round(
@@ -192,31 +210,43 @@ def perfetto_trace(analysis: TraceAnalysis,
         if timeline.dropped and timeline.drop_t is not None:
             events.append({
                 "name": "drop", "cat": "sched", "ph": "i", "s": "t",
-                "ts": us(timeline.drop_t), "pid": 1,
-                "tid": track_of(timeline.flow_id),
+                "ts": us(timeline.drop_t),
+                "pid": pid_of(timeline.port),
+                "tid": track_of(timeline.port, timeline.flow_id),
                 "args": {"reason": timeline.drop_reason},
             })
     for record in analysis.events:
         if record.get("kind") != "kick":
             continue
+        port = record.get("port")
         events.append({
             "name": "kick", "cat": "engine", "ph": "i", "s": "t",
-            "ts": us(record["t"]), "pid": 1,
-            "tid": track_ids[_ENGINE_TRACK], "args": {},
+            "ts": us(record["t"]), "pid": pid_of(port),
+            "tid": track_of(port, _ENGINE_TRACK), "args": {},
         })
+    if not pids:
+        pid_of(None)  # empty trace still names its (single) process
     events.sort(key=lambda event: (event["ts"], event["tid"]))
-    metadata: List[Dict[str, object]] = [{
-        "name": "process_name", "ph": "M", "pid": 1,
-        "args": {"name": process_name},
-    }]
-    for flow_id, tid in sorted(track_ids.items(),
-                               key=lambda item: item[1]):
+    metadata: List[Dict[str, object]] = []
+    for port, pid in sorted(pids.items(),
+                            key=lambda item: item[1]):
+        name = (process_name if port is None
+                else f"{process_name} [port {port}]")
         metadata.append({
-            "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
-            "args": {"name": str(flow_id)},
+            "name": "process_name", "ph": "M", "pid": pid,
+            "args": {"name": name},
+        })
+    for (port, name), tid in sorted(track_ids.items(),
+                                    key=lambda item: item[1]):
+        pid = pids.get(port)
+        if pid is None:
+            continue  # track pre-registered but never used
+        metadata.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": str(name)},
         })
         metadata.append({
-            "name": "thread_sort_index", "ph": "M", "pid": 1,
+            "name": "thread_sort_index", "ph": "M", "pid": pid,
             "tid": tid, "args": {"sort_index": tid},
         })
     return {"traceEvents": metadata + events,

@@ -354,3 +354,70 @@ class MetricsRegistry:
         with open(path, "w") as handle:
             json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
             handle.write("\n")
+
+
+class ScopedMetrics:
+    """View of a registry that prefixes every instrument name.
+
+    ``ScopedMetrics(registry, "port.p0")`` turns a request for
+    ``engine.arrivals`` into the registry instrument
+    ``port.p0.engine.arrivals`` — the per-port metrics hook: each
+    :class:`~repro.sim.port.Port` hands its engine/scheduler a scoped
+    view of the dataplane's single registry, and the name prefix flows
+    unchanged into JSON snapshots and the Prometheus exposition (one
+    series per port, no export changes needed).  Scopes nest:
+    ``ScopedMetrics(scoped, "inner")`` prepends outer-first.
+
+    This is a *view* over the shared registry — never wrap the null
+    registry; use :func:`scoped` which returns null/None unchanged so
+    the ``metrics is NULL_METRICS`` fast paths stay intact.
+    """
+
+    __slots__ = ("base", "prefix")
+
+    def __init__(self, base, prefix: str) -> None:
+        if not prefix:
+            raise ValueError("scope prefix must be non-empty")
+        if isinstance(base, ScopedMetrics):
+            prefix = f"{base.prefix}.{prefix}"
+            base = base.base
+        self.base = base
+        self.prefix = prefix
+
+    def counter(self, name: str) -> Counter:
+        return self.base.counter(f"{self.prefix}.{name}")
+
+    def gauge(self, name: str) -> Gauge:
+        return self.base.gauge(f"{self.prefix}.{name}")
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        return self.base.histogram(f"{self.prefix}.{name}", buckets)
+
+    def log_histogram(self, name: str, min_value: float = 1e-3,
+                      max_value: float = 1e7,
+                      growth: Optional[float] = None) -> LogHistogram:
+        return self.base.log_histogram(
+            f"{self.prefix}.{name}", min_value=min_value,
+            max_value=max_value, growth=growth)
+
+    def to_dict(self) -> Dict[str, Dict]:
+        return self.base.to_dict()
+
+    def snapshot(self) -> Dict[str, Dict]:
+        return self.base.snapshot()
+
+    def write_json(self, path) -> None:
+        self.base.write_json(path)
+
+
+def scoped(metrics, prefix: str):
+    """A view of ``metrics`` prefixing instrument names with ``prefix``.
+
+    Returns ``metrics`` unchanged when it is ``None`` or the shared null
+    registry, preserving the identity-checked fast paths downstream.
+    """
+    from repro.obs.scope import NULL_METRICS
+    if metrics is None or metrics is NULL_METRICS:
+        return metrics
+    return ScopedMetrics(metrics, prefix)

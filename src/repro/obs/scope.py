@@ -100,7 +100,8 @@ class NullTracer:
     def emit(self, time: float, kind: str, **fields) -> None:
         pass
 
-    def arrival(self, time, flow_id, size_bytes, packet_id=None) -> None:
+    def arrival(self, time, flow_id, size_bytes, packet_id=None,
+                **fields) -> None:
         pass
 
     def enqueue(self, time, flow_id, rank, send_time, **fields) -> None:
@@ -116,22 +117,25 @@ class NullTracer:
     def drop(self, time, flow_id, reason="", **fields) -> None:
         pass
 
-    def timer_arm(self, time, timer_id, deadline, scope="sim") -> None:
+    def timer_arm(self, time, timer_id, deadline, scope="sim",
+                  **fields) -> None:
         pass
 
-    def timer_fire(self, time, timer_id, scope="sim") -> None:
+    def timer_fire(self, time, timer_id, scope="sim", **fields) -> None:
         pass
 
-    def timer_cancel(self, time, timer_id, scope="sim") -> None:
+    def timer_cancel(self, time, timer_id, scope="sim",
+                     **fields) -> None:
         pass
 
-    def kick(self, time, at=None) -> None:
+    def kick(self, time, at=None, **fields) -> None:
         pass
 
-    def link_busy(self, time, until=None, flow_id=None) -> None:
+    def link_busy(self, time, until=None, flow_id=None,
+                  **fields) -> None:
         pass
 
-    def link_idle(self, time) -> None:
+    def link_idle(self, time, **fields) -> None:
         pass
 
     def mark(self, time, label, **fields) -> None:

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import (Dict, Hashable, IO, Iterable, Iterator, List,
                     Optional, Sequence, Union)
 
-from repro.obs.scope import Span
+from repro.obs.scope import NULL_TRACER, Span
 
 #: The closed vocabulary of trace event kinds.
 EVENT_KINDS = (
@@ -77,7 +77,74 @@ class TraceEvent:
         return self.fields.get(key, default)
 
 
-class Tracer:
+class _TypedEmitters:
+    """The typed event vocabulary, expressed in terms of ``self.emit``.
+
+    Shared by :class:`Tracer` (which stores/streams events) and
+    :class:`LabelledTracer` (which stamps constant fields and
+    delegates), so both expose the identical instrumented-layer surface.
+    """
+
+    def arrival(self, time, flow_id: Hashable, size_bytes: int,
+                packet_id=None, **fields) -> None:
+        self.emit(time, "arrival", flow_id=flow_id,
+                  size_bytes=size_bytes, packet_id=packet_id, **fields)
+
+    def enqueue(self, time, flow_id: Hashable, rank, send_time,
+                **fields) -> None:
+        self.emit(time, "enqueue", flow_id=flow_id, rank=rank,
+                  send_time=send_time, **fields)
+
+    def dequeue(self, time, flow_id: Hashable, rank=None,
+                **fields) -> None:
+        self.emit(time, "dequeue", flow_id=flow_id, rank=rank, **fields)
+
+    def departure(self, time, flow_id: Hashable, size_bytes: int,
+                  packet_id=None, finish=None, **fields) -> None:
+        self.emit(time, "departure", flow_id=flow_id,
+                  size_bytes=size_bytes, packet_id=packet_id,
+                  finish=finish, **fields)
+
+    def drop(self, time, flow_id: Hashable, reason: str = "",
+             **fields) -> None:
+        self.emit(time, "drop", flow_id=flow_id, reason=reason, **fields)
+
+    def timer_arm(self, time, timer_id, deadline,
+                  scope: str = "sim", **fields) -> None:
+        self.emit(time, "timer_arm", id=timer_id, deadline=deadline,
+                  scope=scope, **fields)
+
+    def timer_fire(self, time, timer_id, scope: str = "sim",
+                   **fields) -> None:
+        self.emit(time, "timer_fire", id=timer_id, scope=scope, **fields)
+
+    def timer_cancel(self, time, timer_id, scope: str = "sim",
+                     **fields) -> None:
+        self.emit(time, "timer_cancel", id=timer_id, scope=scope,
+                  **fields)
+
+    def kick(self, time, at=None, **fields) -> None:
+        self.emit(time, "kick", at=at, **fields)
+
+    def link_busy(self, time, until=None, flow_id=None,
+                  **fields) -> None:
+        self.emit(time, "link_busy", until=until, flow_id=flow_id,
+                  **fields)
+
+    def link_idle(self, time, **fields) -> None:
+        self.emit(time, "link_idle", **fields)
+
+    def mark(self, time, label: str, **fields) -> None:
+        """Free-form annotation, e.g. a sweep-point boundary."""
+        self.emit(time, "mark", label=label, **fields)
+
+    def span(self, name: str, sim_time: float = 0.0) -> Span:
+        """``with tracer.span("schedule"):`` — wall-clock a region and
+        emit its latency as a ``span`` event."""
+        return Span(self, name, sim_time)
+
+
+class Tracer(_TypedEmitters):
     """Collects and/or streams :class:`TraceEvent` records.
 
     Parameters
@@ -159,62 +226,6 @@ class Tracer:
             self._sink.write("\n")
 
     # ------------------------------------------------------------------
-    # Typed emitters (the instrumented layers call these)
-    # ------------------------------------------------------------------
-    def arrival(self, time, flow_id: Hashable, size_bytes: int,
-                packet_id=None) -> None:
-        self.emit(time, "arrival", flow_id=flow_id,
-                  size_bytes=size_bytes, packet_id=packet_id)
-
-    def enqueue(self, time, flow_id: Hashable, rank, send_time,
-                **fields) -> None:
-        self.emit(time, "enqueue", flow_id=flow_id, rank=rank,
-                  send_time=send_time, **fields)
-
-    def dequeue(self, time, flow_id: Hashable, rank=None,
-                **fields) -> None:
-        self.emit(time, "dequeue", flow_id=flow_id, rank=rank, **fields)
-
-    def departure(self, time, flow_id: Hashable, size_bytes: int,
-                  packet_id=None, finish=None, **fields) -> None:
-        self.emit(time, "departure", flow_id=flow_id,
-                  size_bytes=size_bytes, packet_id=packet_id,
-                  finish=finish, **fields)
-
-    def drop(self, time, flow_id: Hashable, reason: str = "",
-             **fields) -> None:
-        self.emit(time, "drop", flow_id=flow_id, reason=reason, **fields)
-
-    def timer_arm(self, time, timer_id, deadline,
-                  scope: str = "sim") -> None:
-        self.emit(time, "timer_arm", id=timer_id, deadline=deadline,
-                  scope=scope)
-
-    def timer_fire(self, time, timer_id, scope: str = "sim") -> None:
-        self.emit(time, "timer_fire", id=timer_id, scope=scope)
-
-    def timer_cancel(self, time, timer_id, scope: str = "sim") -> None:
-        self.emit(time, "timer_cancel", id=timer_id, scope=scope)
-
-    def kick(self, time, at=None) -> None:
-        self.emit(time, "kick", at=at)
-
-    def link_busy(self, time, until=None, flow_id=None) -> None:
-        self.emit(time, "link_busy", until=until, flow_id=flow_id)
-
-    def link_idle(self, time) -> None:
-        self.emit(time, "link_idle")
-
-    def mark(self, time, label: str, **fields) -> None:
-        """Free-form annotation, e.g. a sweep-point boundary."""
-        self.emit(time, "mark", label=label, **fields)
-
-    def span(self, name: str, sim_time: float = 0.0) -> Span:
-        """``with tracer.span("schedule"):`` — wall-clock a region and
-        emit its latency as a ``span`` event."""
-        return Span(self, name, sim_time)
-
-    # ------------------------------------------------------------------
     # Access and export
     # ------------------------------------------------------------------
     @property
@@ -266,6 +277,56 @@ class Tracer:
             self.emit(time, kind, **record)
             count += 1
         return count
+
+
+class LabelledTracer(_TypedEmitters):
+    """View of a tracer that stamps constant fields on every event.
+
+    ``LabelledTracer(tracer, port="p0")`` makes every emitted event
+    carry ``port: "p0"`` — the per-port instrumentation hook: each
+    :class:`~repro.sim.port.Port` hands its components a labelled view
+    of the dataplane's single tracer, and the analyzer/export layers
+    split streams back out by the ``port`` field.  Explicit fields win
+    over labels on collision; labelled views nest (inner labels win).
+
+    This is a *view*: storage, retention, counts, and the JSONL sink all
+    live on the base tracer.  Never wrap the null tracer — use
+    :func:`labelled` which returns null/None bases unchanged, keeping
+    the ``tracer is NULL_TRACER`` fast-path identity checks meaningful.
+    """
+
+    __slots__ = ("base", "labels")
+
+    def __init__(self, base, **labels) -> None:
+        self.base = base
+        self.labels = labels
+
+    def emit(self, time: float, kind: str, **fields) -> None:
+        for key, value in self.labels.items():
+            fields.setdefault(key, value)
+        self.base.emit(time, kind, **fields)
+
+    @property
+    def enabled(self) -> bool:
+        return self.base.enabled
+
+    def __getattr__(self, name):
+        # Everything that is not emission (events, counts, close, ...)
+        # belongs to the base tracer.
+        return getattr(self.base, name)
+
+
+def labelled(tracer, **labels):
+    """A view of ``tracer`` stamping ``labels`` on every event.
+
+    Returns ``tracer`` unchanged when it is ``None``, the shared null
+    tracer, or no labels were given — so call sites can label
+    unconditionally without defeating the identity-checked
+    ``is NULL_TRACER`` fast paths downstream.
+    """
+    if tracer is None or tracer is NULL_TRACER or not labels:
+        return tracer
+    return LabelledTracer(tracer, **labels)
 
 
 #: Fields whose non-finite floats are string-encoded by

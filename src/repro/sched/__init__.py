@@ -22,6 +22,8 @@ from repro.sched.priority import (EarliestDeadlineFirst, LeastSlackTimeFirst,
                                   ShortestJobFirst,
                                   ShortestRemainingTimeFirst, StrictPriority)
 from repro.sched.rcsp import RateControlledStaticPriority, RateJitterRegulator
+from repro.sched.registry import (available_algorithms, get_algorithm,
+                                  make_algorithm, register_algorithm)
 from repro.sched.sfq import StochasticFairnessQueuing
 from repro.sched.starvation import (AgingStrictPriority,
                                     install_aging_monitor, starving_flows)
@@ -62,4 +64,8 @@ __all__ = [
     "WF2Qplus",
     "WorstCaseFairWeightedFairQueuing",
     "WeightedFairQueuing",
+    "available_algorithms",
+    "get_algorithm",
+    "make_algorithm",
+    "register_algorithm",
 ]

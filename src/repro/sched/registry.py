@@ -1,0 +1,135 @@
+"""Scheduling-algorithm registry: the Section 4 catalogue by name.
+
+Mirrors the discovery pattern of :mod:`repro.core.backends` (ordered
+-list engines) and :mod:`repro.sim.events` (event queues): every
+:class:`~repro.sched.base.SchedulingAlgorithm` in :mod:`repro.sched`
+is registered under a stable CLI-friendly name, so experiments select
+policies with ``--algorithm NAME`` (and enumerate them with
+``--list-algorithms``) instead of code edits.
+
+Factories take no required arguments — algorithms whose constructors
+need parameters (MLFQ thresholds, TDMA slot plan) register with
+documented defaults; construct them directly for custom configs.
+:class:`~repro.sched.feedback.FeedbackChannel` is deliberately absent:
+it is a control-plane adapter around a scheduler + simulator, not a
+standalone algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigurationError
+from repro.sched.base import SchedulingAlgorithm
+from repro.sched.drr import DeficitRoundRobin
+from repro.sched.mlfq import MultiLevelFeedbackQueue
+from repro.sched.priority import (EarliestDeadlineFirst,
+                                  LeastSlackTimeFirst, ShortestJobFirst,
+                                  ShortestRemainingTimeFirst,
+                                  StrictPriority)
+from repro.sched.rcsp import RateControlledStaticPriority
+from repro.sched.sfq import StochasticFairnessQueuing
+from repro.sched.starvation import AgingStrictPriority
+from repro.sched.tdma import TimeSlotted
+from repro.sched.token_bucket import TokenBucket
+from repro.sched.wf2q import WF2Qplus, WorstCaseFairWeightedFairQueuing
+from repro.sched.wfq import WeightedFairQueuing
+from repro.sim.packet import MTU_BYTES
+
+
+class _AlgorithmEntry:
+    __slots__ = ("name", "factory", "description")
+
+    def __init__(self, name: str,
+                 factory: Callable[[], SchedulingAlgorithm],
+                 description: str) -> None:
+        self.name = name
+        self.factory = factory
+        self.description = description
+
+
+_ALGORITHMS: Dict[str, _AlgorithmEntry] = {}
+
+
+def register_algorithm(name: str,
+                       factory: Callable[[], SchedulingAlgorithm],
+                       description: str = "") -> None:
+    """Register a no-argument algorithm factory (overwrites)."""
+    _ALGORITHMS[name] = _AlgorithmEntry(name, factory, description)
+
+
+def available_algorithms() -> List[str]:
+    """Registered algorithm names, sorted."""
+    return sorted(_ALGORITHMS)
+
+
+def get_algorithm(name: str) -> _AlgorithmEntry:
+    entry = _ALGORITHMS.get(name)
+    if entry is None:
+        raise ConfigurationError(
+            f"unknown scheduling algorithm {name!r}; available: "
+            f"{', '.join(available_algorithms())}")
+    return entry
+
+
+def make_algorithm(name: str) -> SchedulingAlgorithm:
+    """Instantiate a registered algorithm with its default config."""
+    return get_algorithm(name).factory()
+
+
+def _mlfq_default() -> MultiLevelFeedbackQueue:
+    # Demotion thresholds in served bytes: 3 levels at 16 / 256 MTUs.
+    return MultiLevelFeedbackQueue(
+        thresholds_bytes=(16 * MTU_BYTES, 256 * MTU_BYTES))
+
+
+def _tdma_default() -> TimeSlotted:
+    # 100 us slots, 8-slot frame (flows map to slots by group).
+    return TimeSlotted(slot_seconds=100e-6, frame_slots=8)
+
+
+register_algorithm(
+    "drr", DeficitRoundRobin,
+    "deficit round robin (work-conserving, quantum per visit)")
+register_algorithm(
+    "wfq", WeightedFairQueuing,
+    "weighted fair queuing (virtual finish times)")
+register_algorithm(
+    "wf2q+", WF2Qplus,
+    "worst-case fair WFQ+ (eligible virtual start times)")
+register_algorithm(
+    "wcwfq", WorstCaseFairWeightedFairQueuing,
+    "worst-case fair weighted fair queuing")
+register_algorithm(
+    "sfq", StochasticFairnessQueuing,
+    "stochastic fairness queuing (hashed buckets, seeded)")
+register_algorithm(
+    "token-bucket", TokenBucket,
+    "token-bucket rate shaping (non-work-conserving)")
+register_algorithm(
+    "rcsp", RateControlledStaticPriority,
+    "rate-controlled static priority (regulator + priority)")
+register_algorithm(
+    "mlfq", _mlfq_default,
+    "multi-level feedback queue (default 3 levels: 16/256 MTUs)")
+register_algorithm(
+    "strict-priority", StrictPriority,
+    "strict priority by flow priority field")
+register_algorithm(
+    "aging-priority", AgingStrictPriority,
+    "strict priority with starvation-avoiding rank aging")
+register_algorithm(
+    "sjf", ShortestJobFirst,
+    "shortest job first (head packet size as rank)")
+register_algorithm(
+    "srtf", ShortestRemainingTimeFirst,
+    "shortest remaining time first")
+register_algorithm(
+    "edf", EarliestDeadlineFirst,
+    "earliest deadline first (per-packet deadlines)")
+register_algorithm(
+    "lstf", LeastSlackTimeFirst,
+    "least slack time first")
+register_algorithm(
+    "tdma", _tdma_default,
+    "time-slotted frames (default 100us slots, 8-slot frame)")

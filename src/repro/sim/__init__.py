@@ -1,8 +1,18 @@
-"""Discrete-event network substrate: packets, flows, links, generators."""
+"""Discrete-event network substrate: packets, flows, links, generators,
+and the multi-port dataplane (ports, shared-buffer admission,
+classification)."""
 
+from repro.sim.buffer import (BufferManager, DropPolicy,
+                              LongestQueueDrop, RedDrop, TailDrop,
+                              available_drop_policies, get_drop_policy,
+                              make_drop_policy, register_drop_policy)
+from repro.sim.classifier import (Classifier, FnClassifier,
+                                  HashClassifier, StaticClassifier)
+from repro.sim.dataplane import Dataplane, single_port_dataplane
 from repro.sim.engine import TransmitEngine
 from repro.sim.events import EventHandle, Simulator
 from repro.sim.flow import FlowQueue
+from repro.sim.port import Port
 from repro.sim.generators import (BackloggedSource, CbrGenerator,
                                   OnOffGenerator, PacketGenerator,
                                   PoissonGenerator)
@@ -13,10 +23,26 @@ from repro.sim.trace import (departures_csv, save_trace, write_departures,
                              write_flow_summary)
 
 __all__ = [
+    "BufferManager",
+    "Classifier",
+    "Dataplane",
+    "DropPolicy",
+    "FnClassifier",
+    "HashClassifier",
+    "LongestQueueDrop",
+    "Port",
+    "RedDrop",
+    "StaticClassifier",
+    "TailDrop",
     "TransmitEngine",
     "EventHandle",
     "Simulator",
     "FlowQueue",
+    "available_drop_policies",
+    "get_drop_policy",
+    "make_drop_policy",
+    "register_drop_policy",
+    "single_port_dataplane",
     "BackloggedSource",
     "CbrGenerator",
     "OnOffGenerator",

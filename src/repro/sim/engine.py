@@ -51,15 +51,35 @@ class TransmitEngine:
     :class:`~repro.sched.framework.PieoScheduler`, a
     :class:`~repro.sched.hierarchical.HierarchicalScheduler`, or one of
     the baseline schedulers.
+
+    ``admission`` is an optional gatekeeper called as ``admission(
+    flow_id, packet) -> bool`` before the packet reaches the scheduler;
+    a False return means the packet was refused (the caller — normally a
+    :class:`~repro.sim.buffer.BufferManager` — is responsible for the
+    drop event).  ``departure_hook`` is an optional ``hook(packet)``
+    called once per transmitted packet, releasing buffer occupancy.
+    Both default to None, leaving the single-engine behaviour (and
+    output) untouched.
     """
 
     def __init__(self, sim: Simulator, scheduler, link: Link,
                  recorder: Optional[Recorder] = None,
                  tracer=None, metrics=None,
-                 drain: Optional[bool] = None) -> None:
+                 drain: Optional[bool] = None,
+                 admission: Optional[Callable[[Hashable, Packet],
+                                              bool]] = None,
+                 departure_hook: Optional[Callable[[Packet],
+                                                   None]] = None) -> None:
         self.sim = sim
         self.scheduler = scheduler
         self.link = link
+        self.admission = admission
+        self.departure_hook = departure_hook
+        # Declare ourselves to the simulator: with >1 registered
+        # engines, Simulator.advance_to refuses every fast-forward and
+        # the drain falls back to its event-driven tail, which
+        # serializes engines correctly through the shared queue.
+        sim.register_clock_consumer()
         self.recorder = recorder if recorder is not None else Recorder()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
@@ -103,6 +123,14 @@ class TransmitEngine:
                                 packet.packet_id)
         if self._metered:
             self._c_arrivals.inc()
+        # Admission runs after the arrival trace/counter (so the
+        # analyzer's conservation audit sees the packet arrive before
+        # any drop event) but before the packet touches backlog gauges
+        # or the scheduler.
+        if self.admission is not None \
+                and not self.admission(flow_id, packet):
+            return
+        if self._metered:
             self._g_backlog_pkts.inc()
             self._g_backlog_bytes.inc(packet.size_bytes)
         self.scheduler.on_arrival(flow_id, packet, now)
@@ -172,6 +200,7 @@ class TransmitEngine:
         record = self.recorder.record
         listeners = self.departure_listeners
         advance = sim.advance_to
+        departure_hook = self.departure_hook
         while True:
             packets = schedule(now)
             if not packets:
@@ -185,6 +214,8 @@ class TransmitEngine:
             packet.departure_time = finish
             record(now, packet.flow_id, packet.size_bytes,
                    packet.packet_id)
+            if departure_hook is not None:
+                departure_hook(packet)
             listener = listeners.get(packet.flow_id)
             if not advance(finish):
                 # Event-driven tail, exactly as _transmit_batch does it:
@@ -216,11 +247,14 @@ class TransmitEngine:
         record = self.recorder.record
         listeners = self.departure_listeners
         sim_schedule = self.sim.schedule
+        departure_hook = self.departure_hook
         for packet in packets:
             finish = link_transmit(packet, start)
             packet.departure_time = finish
             record(start, packet.flow_id, packet.size_bytes,
                    packet.packet_id)
+            if departure_hook is not None:
+                departure_hook(packet)
             if traced:
                 self.tracer.departure(start, packet.flow_id,
                                       packet.size_bytes, packet.packet_id,

@@ -382,6 +382,11 @@ class Simulator:
         # run_until while they are draining).
         self._horizon: Optional[float] = None
         self._budget: Optional[int] = None
+        # Registered clock consumers (transmit engines). advance_to is
+        # only sound while a single consumer can fast-forward the clock;
+        # with two engines, one engine's jump would skip past the
+        # other's in-flight transmissions.
+        self._clock_consumers = 0
         self._traced = self.tracer is not NULL_TRACER
         self._metered = self.metrics is not NULL_METRICS
         if self._metered:
@@ -453,6 +458,16 @@ class Simulator:
         callback()
         return True
 
+    def register_clock_consumer(self) -> None:
+        """Declare a component that may call :meth:`advance_to`.
+
+        Transmit engines register themselves at construction.  While
+        more than one consumer is registered, every :meth:`advance_to`
+        is refused and callers fall back to their event-driven paths,
+        which serialize correctly through the shared queue.
+        """
+        self._clock_consumers += 1
+
     def advance_to(self, time: float) -> bool:
         """Fast-forward the clock to ``time`` from inside a callback.
 
@@ -461,11 +476,16 @@ class Simulator:
         is indistinguishable from dispatching them individually.  The
         advance is refused (returns False, clock untouched) unless a run
         is active (``run``/``run_until`` set the horizon), ``time`` is
-        within the horizon, the event budget has room, and no pending
-        event fires at or before ``time``.  A successful advance counts
-        against ``events_fired`` exactly like the timer event it
-        replaces, so livelock guards keep their meaning.
+        within the horizon, the event budget has room, no pending event
+        fires at or before ``time``, and at most one clock consumer is
+        registered (two engines sharing a simulator must serialize
+        through the event queue, not jump past each other).  A
+        successful advance counts against ``events_fired`` exactly like
+        the timer event it replaces, so livelock guards keep their
+        meaning.
         """
+        if self._clock_consumers > 1:
+            return False
         horizon = self._horizon
         if horizon is None or time > horizon or time < self.now:
             return False

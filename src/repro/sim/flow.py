@@ -52,6 +52,11 @@ class FlowQueue:
         self.packets_dequeued = 0
         self.bytes_enqueued = 0
         self.bytes_dequeued = 0
+        # Admission/drop accounting (maintained by the buffer manager).
+        self.packets_dropped = 0
+        self.bytes_dropped = 0
+        # Incremental backlog so capacity checks are O(1), not O(depth).
+        self._backlog_bytes = 0
 
     # -- queue operations -------------------------------------------------
     def push(self, packet: Packet) -> bool:
@@ -60,13 +65,38 @@ class FlowQueue:
         self.queue.append(packet)
         self.packets_enqueued += 1
         self.bytes_enqueued += packet.size_bytes
+        self._backlog_bytes += packet.size_bytes
         return was_empty
 
     def pop(self) -> Packet:
         packet = self.queue.popleft()
         self.packets_dequeued += 1
         self.bytes_dequeued += packet.size_bytes
+        self._backlog_bytes -= packet.size_bytes
         return packet
+
+    def drop_tail(self) -> Packet:
+        """Evict the most recent packet (push-out drop policies).
+
+        Only safe while the queue keeps at least one packet afterwards:
+        the flow's residency in the scheduler's ordered list is keyed on
+        "has backlog", and evicting the last packet would strand a
+        resident element pointing at an empty queue.
+        """
+        if len(self.queue) < 2:
+            raise ValueError(
+                "drop_tail needs >= 2 queued packets (evicting the last "
+                "one would strand the flow's ordered-list residency)")
+        packet = self.queue.pop()
+        self.packets_dropped += 1
+        self.bytes_dropped += packet.size_bytes
+        self._backlog_bytes -= packet.size_bytes
+        return packet
+
+    def note_drop(self, packet: Packet) -> None:
+        """Account an arrival rejected before it entered the queue."""
+        self.packets_dropped += 1
+        self.bytes_dropped += packet.size_bytes
 
     @property
     def head(self) -> Optional[Packet]:
@@ -85,7 +115,7 @@ class FlowQueue:
 
     @property
     def backlog_bytes(self) -> int:
-        return sum(packet.size_bytes for packet in self.queue)
+        return self._backlog_bytes
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"FlowQueue({self.flow_id!r}, depth={len(self.queue)}, "

@@ -1,0 +1,102 @@
+"""Port: one scheduler + link + transmit engine, packaged as a unit.
+
+The paper's hardware block diagram (Fig. 1) attaches one PIEO scheduler
+to each output link; a switch is N of those around a shared packet
+memory.  :class:`Port` is that unit in the repro — it owns the
+scheduler, the :class:`~repro.sim.link.Link`, and the
+:class:`~repro.sim.engine.TransmitEngine` driving them, and wires the
+optional shared :class:`~repro.sim.buffer.BufferManager` into the
+engine's admission/release hooks.
+
+Observability: the port hands its engine a
+:class:`~repro.obs.trace.LabelledTracer` view stamping ``port=<id>``
+on every event and a :class:`~repro.obs.metrics.ScopedMetrics` view
+prefixing instruments with ``port.<id>``, so one tracer/registry pair
+serves the whole dataplane while streams stay separable per port.
+Pass ``label=False`` (the single-port compatibility path) to skip both
+views and reproduce bare-engine output bit-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.obs.metrics import scoped
+from repro.obs.trace import labelled
+from repro.sim.engine import TransmitEngine
+from repro.sim.events import Simulator
+from repro.sim.flow import FlowQueue
+from repro.sim.link import Link
+from repro.sim.packet import Packet
+from repro.sim.recorder import Recorder
+
+
+class Port:
+    """One output port of a :class:`~repro.sim.dataplane.Dataplane`.
+
+    ``scheduler`` and ``link`` are constructed by the caller (use
+    :meth:`Dataplane.add_port` for the factory-style wiring that labels
+    their observers too).  ``buffer`` is the shared
+    :class:`~repro.sim.buffer.BufferManager`; when given, arrivals pass
+    through ``buffer.admit`` before the scheduler sees them and every
+    transmission credits occupancy back via ``buffer.release``.
+    """
+
+    def __init__(self, port_id: Hashable, sim: Simulator, scheduler,
+                 link: Link, buffer=None,
+                 recorder: Optional[Recorder] = None,
+                 tracer=None, metrics=None,
+                 drain: Optional[bool] = None,
+                 label: bool = True) -> None:
+        self.port_id = port_id
+        self.sim = sim
+        self.scheduler = scheduler
+        self.link = link
+        self.buffer = buffer
+        if label:
+            tracer = labelled(tracer, port=str(port_id))
+            metrics = scoped(metrics, f"port.{port_id}") \
+                if metrics is not None else None
+        self.tracer = tracer
+        self.metrics = metrics
+        admission = None
+        departure_hook = None
+        if buffer is not None:
+            admission = self._admit
+            departure_hook = self._release
+            buffer.attach_port(port_id, self.flow_queue)
+        self.engine = TransmitEngine(
+            sim, scheduler, link, recorder=recorder, tracer=tracer,
+            metrics=metrics, drain=drain, admission=admission,
+            departure_hook=departure_hook)
+        self.recorder = self.engine.recorder
+
+    # -- buffer hooks --------------------------------------------------
+    def _admit(self, flow_id: Hashable, packet: Packet) -> bool:
+        return self.buffer.admit(self.port_id, flow_id, packet,
+                                 self.sim.now)
+
+    def _release(self, packet: Packet) -> None:
+        self.buffer.release(self.port_id, packet.flow_id,
+                            packet.size_bytes)
+
+    def flow_queue(self, flow_id: Hashable) -> Optional[FlowQueue]:
+        """The live :class:`FlowQueue` for ``flow_id`` (push-out
+        policies evict through this); None when the scheduler does not
+        expose per-flow queues or the flow is unknown."""
+        flows = getattr(self.scheduler, "flows", None)
+        if flows is None:
+            return None
+        return flows.get(flow_id)
+
+    # -- traffic entry -------------------------------------------------
+    def accept(self, flow_id: Hashable, packet: Packet) -> None:
+        """Feed a packet into this port (post-classification)."""
+        self.engine.arrival_sink(flow_id, packet)
+
+    def add_departure_listener(self, flow_id: Hashable,
+                               callback) -> None:
+        self.engine.add_departure_listener(flow_id, callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Port({self.port_id!r})"

@@ -1,0 +1,61 @@
+"""Tests for the scheduling-algorithm registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sched import (DeficitRoundRobin, SchedulingAlgorithm,
+                         available_algorithms, get_algorithm,
+                         make_algorithm, register_algorithm)
+from repro.sched.framework import PieoScheduler
+from repro.sim import FlowQueue, Packet
+
+EXPECTED_NAMES = {
+    "drr", "wfq", "wf2q+", "wcwfq", "sfq", "token-bucket", "rcsp",
+    "mlfq", "strict-priority", "aging-priority", "sjf", "srtf", "edf",
+    "lstf", "tdma",
+}
+
+
+def test_catalogue_is_registered():
+    names = set(available_algorithms())
+    assert EXPECTED_NAMES <= names
+    # FeedbackChannel is a control-plane adapter, not an algorithm.
+    assert "feedback" not in names
+
+
+def test_names_are_sorted():
+    names = available_algorithms()
+    assert names == sorted(names)
+
+
+def test_every_entry_instantiates_and_schedules():
+    """Each registered factory yields a working SchedulingAlgorithm
+    that can rank at least one arrival through a PieoScheduler."""
+    for name in available_algorithms():
+        algorithm = make_algorithm(name)
+        assert isinstance(algorithm, SchedulingAlgorithm), name
+        scheduler = PieoScheduler(algorithm, link_rate_bps=10e9)
+        scheduler.add_flow(FlowQueue("f", rate_bps=1e9, priority=1))
+        scheduler.on_arrival("f", Packet("f"), 0.0)
+        assert "f" in scheduler.ordered_list, name
+
+
+def test_descriptions_present():
+    for name in available_algorithms():
+        assert get_algorithm(name).description, name
+
+
+def test_unknown_algorithm():
+    with pytest.raises(ConfigurationError,
+                       match="unknown scheduling algorithm"):
+        make_algorithm("fancy-new-thing")
+
+
+def test_custom_registration_overwrites():
+    register_algorithm("test-only-drr", DeficitRoundRobin, "testing")
+    try:
+        assert isinstance(make_algorithm("test-only-drr"),
+                          DeficitRoundRobin)
+    finally:
+        from repro.sched.registry import _ALGORITHMS
+        del _ALGORITHMS["test-only-drr"]
