@@ -1,0 +1,229 @@
+"""Fluid reference oracles: GPS finish times and token-bucket levels.
+
+**GPS (Generalized Processor Sharing).**  The idealized fluid server
+behind the WFQ family (Parekh & Gallager 1993): at every instant the
+link capacity ``R`` is divided among the *backlogged* flows in
+proportion to their weights.  A packetized WFQ server promises that
+every packet finishes no later than its GPS fluid finish time plus
+``L_max/R`` (one maximum-size packet at line rate); WF2Q(+) adds a
+matching lower bound on service.  The oracle integrates the fluid
+system event-by-event over the exact arrival sequence a discrete run
+saw, producing a per-packet ideal finish time the checkers compare
+wire departures against.
+
+The integration uses the standard virtual-time formulation: virtual
+time ``V`` advances at rate ``R / W(t)`` (in bits per unit weight)
+where ``W(t)`` is the total weight of backlogged flows.  Packet ``k``
+of flow ``i`` gets a start tag ``S = max(F_prev, V(arrival))`` and a
+finish tag ``F = S + L_bits / w_i``; the packet's fluid finish is the
+wall-clock instant at which ``V`` crosses ``F``.  Between events
+(an arrival changing ``W``, or a tag completion) ``V`` is piecewise
+linear, so the integration is exact up to float rounding.
+
+**Token bucket.**  For shaped flows the oracle replays departures
+against an ``(r, b)`` bucket: tokens accrue at ``r`` bytes/s capped at
+``b`` bytes and every departure debits its size at transmission start.
+The reconstruction is *conservative* — the bucket starts full and
+accrues from the first observable instant — so a reported negative
+level is a true over-release, never a false positive.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import (Deque, Dict, Hashable, List, Mapping, Optional,
+                    Sequence, Tuple)
+
+#: Absolute slop on simulated timestamps (seconds) when comparing
+#: oracle events against trace events.
+TIME_SLOP = 1e-9
+
+
+@dataclass
+class GpsResult:
+    """Per-packet GPS fluid schedule for one arrival sequence."""
+
+    #: Fluid finish time per arrival, parallel to the input sequence.
+    finish_times: List[float]
+    #: Finish *tags* (virtual time units), parallel to the input.
+    finish_tags: List[float]
+    #: Wall-clock time the fluid system last went empty.
+    busy_until: float
+
+
+def gps_finish_times(
+        arrivals: Sequence[Tuple[float, Hashable, int]],
+        weights: Mapping[Hashable, float],
+        rate_bps: float) -> GpsResult:
+    """Integrate the GPS fluid system over an arrival sequence.
+
+    Parameters
+    ----------
+    arrivals:
+        ``(time, flow_id, size_bytes)`` tuples sorted by time
+        (simultaneous arrivals keep sequence order).
+    weights:
+        Flow weight map; missing flows default to weight 1.0.
+    rate_bps:
+        Link rate in bits per second.
+
+    Returns
+    -------
+    GpsResult
+        Fluid finish times parallel to ``arrivals``.
+    """
+    if rate_bps <= 0:
+        raise ValueError("rate_bps must be positive")
+    count = len(arrivals)
+    finish: List[Optional[float]] = [None] * count
+    tags: List[float] = [0.0] * count
+    for index in range(1, count):
+        if arrivals[index][0] < arrivals[index - 1][0] - TIME_SLOP:
+            raise ValueError("arrivals must be sorted by time")
+
+    last_tag: Dict[Hashable, float] = {}
+    queues: Dict[Hashable, Deque[Tuple[float, int]]] = {}
+    heap: List[Tuple[float, int, Hashable]] = []  # (head tag, seq, flow)
+    backlogged: set = set()
+    heap_seq = 0
+
+    def weight_of(flow: Hashable) -> float:
+        weight = weights.get(flow, 1.0)
+        if weight <= 0:
+            raise ValueError(f"flow {flow!r} has non-positive weight")
+        return weight
+
+    def total_weight() -> float:
+        # Recomputed exactly on every change: flow counts are small and
+        # incremental +=/-= would accumulate float drift into V.
+        return math.fsum(weight_of(flow) for flow in backlogged)
+
+    def push_head(flow: Hashable) -> None:
+        nonlocal heap_seq
+        heapq.heappush(heap, (queues[flow][0][0], heap_seq, flow))
+        heap_seq += 1
+
+    index = 0
+    t = arrivals[0][0] if count else 0.0
+    virtual = 0.0
+    weight_sum = 0.0
+
+    def admit_until(now: float) -> None:
+        nonlocal index, weight_sum
+        while index < count and arrivals[index][0] <= now + TIME_SLOP:
+            _, flow, size_bytes = arrivals[index]
+            start = max(last_tag.get(flow, 0.0), virtual)
+            tag = start + size_bytes * 8.0 / weight_of(flow)
+            last_tag[flow] = tag
+            tags[index] = tag
+            queue = queues.setdefault(flow, deque())
+            queue.append((tag, index))
+            if flow not in backlogged:
+                backlogged.add(flow)
+                push_head(flow)
+            index += 1
+        weight_sum = total_weight()
+
+    while index < count or backlogged:
+        if not backlogged:
+            # Idle: jump to the next arrival; V holds (every tag has
+            # completed, so V >= all finish tags and new starts use V).
+            t = arrivals[index][0]
+            admit_until(t)
+            continue
+        # Drop stale heap entries (head already completed or changed).
+        while heap:
+            tag, _, flow = heap[0]
+            queue = queues.get(flow)
+            if (flow in backlogged and queue and queue[0][0] == tag):
+                break
+            heapq.heappop(heap)
+        tag_min, _, flow_min = heap[0]
+        finish_at = t + (tag_min - virtual) * weight_sum / rate_bps
+        next_arrival = arrivals[index][0] if index < count else math.inf
+        if next_arrival < finish_at - TIME_SLOP:
+            # An arrival interrupts the current fluid segment.
+            virtual += rate_bps * (next_arrival - t) / weight_sum
+            t = next_arrival
+            admit_until(t)
+            continue
+        # The head packet of flow_min completes before the next arrival.
+        t = finish_at
+        virtual = tag_min
+        _, packet_index = queues[flow_min].popleft()
+        finish[packet_index] = t
+        if queues[flow_min]:
+            push_head(flow_min)
+        else:
+            backlogged.discard(flow_min)
+            weight_sum = total_weight()
+
+    return GpsResult(finish_times=[f if f is not None else math.inf
+                                   for f in finish],
+                     finish_tags=tags, busy_until=t)
+
+
+@dataclass
+class TokenBucketViolation:
+    """One departure that over-drew a reconstructed token bucket."""
+
+    flow_id: Hashable
+    time: float
+    packet_id: Optional[int]
+    deficit_bytes: float
+
+    def __str__(self) -> str:
+        return (f"flow {self.flow_id!r}: departure at t={self.time:.9f} "
+                f"overdraws the token bucket by "
+                f"{self.deficit_bytes:.1f} bytes")
+
+
+def token_bucket_violations(
+        departures: Sequence[Tuple[float, int, Optional[int]]],
+        rate_bps: float,
+        burst_bytes: float,
+        start_time: Optional[float] = None,
+        tolerance_bytes: float = 1e-3,
+) -> List[TokenBucketViolation]:
+    """Replay one flow's departures against an ``(r, b)`` bucket.
+
+    Parameters
+    ----------
+    departures:
+        ``(depart_start, size_bytes, packet_id)`` sorted by time.
+    rate_bps:
+        Token accrual rate in *bits* per second (matching
+        ``FlowQueue.rate_bps``).
+    burst_bytes:
+        Bucket depth in bytes.
+    start_time:
+        Instant the bucket starts full; defaults to the first
+        departure (the most conservative choice — the real bucket
+        started accruing no later than its first charge).
+    tolerance_bytes:
+        Negative levels within this slack are attributed to float
+        rounding, not over-release.
+    """
+    if rate_bps <= 0:
+        raise ValueError("rate_bps must be positive")
+    rate_bytes = rate_bps / 8.0
+    violations: List[TokenBucketViolation] = []
+    if not departures:
+        return violations
+    last_t = departures[0][0] if start_time is None else start_time
+    tokens = burst_bytes
+    for depart_start, size_bytes, packet_id in departures:
+        if depart_start < last_t - TIME_SLOP:
+            raise ValueError("departures must be sorted by time")
+        elapsed = max(0.0, depart_start - last_t)
+        tokens = min(burst_bytes, tokens + elapsed * rate_bytes)
+        tokens -= size_bytes
+        last_t = depart_start
+        if tokens < -tolerance_bytes:
+            violations.append(TokenBucketViolation(
+                flow_id=None, time=depart_start, packet_id=packet_id,
+                deficit_bytes=-tokens))
+    return violations

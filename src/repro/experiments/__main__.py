@@ -26,7 +26,10 @@ observability (fig11, fig12); ``--metrics FILE`` writes the aggregated
 counters/gauges/histograms as JSON after the run.  ``--duration SECONDS``
 overrides the simulated duration of those experiments (handy for quick
 traced runs).  ``--analyze`` pipes the finished ``--trace`` file through
-``python -m repro.obs summarize`` for per-flow latency attribution.
+``python -m repro.obs summarize`` for per-flow latency attribution and
+then through ``python -m repro.conformance check --trace`` so every
+traced experiment run doubles as a conformance audit (non-zero exit on
+any violated invariant).
 
 ``--event-queue NAME`` selects the simulator's pending-event backend
 (from the :mod:`repro.sim.events` registry; see
@@ -287,9 +290,17 @@ def main(argv) -> int:
             metrics.write_json(args.metrics)
             print(f"metrics -> {args.metrics}", file=sys.stderr)
     if args.analyze:
+        from repro.conformance.__main__ import main as conf_main
         from repro.obs.__main__ import main as obs_main
         print()
-        return obs_main(["repro.obs", "summarize", args.trace])
+        status = obs_main(["repro.obs", "summarize", args.trace])
+        if status:
+            return status
+        # Conformance audit of the same trace: the universal
+        # invariants (conservation, per-flow FIFO, link overlap) per
+        # sweep segment; non-zero on any violation.
+        print()
+        return conf_main(["check", "--trace", args.trace])
     return 0
 
 

@@ -23,7 +23,7 @@ residue) is asserted on every point.
 from __future__ import annotations
 
 import io
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.experiments.runner import Table, point_seed, run_sweep
 from repro.obs import Tracer
@@ -53,6 +53,7 @@ HOT_PORT = "p0"
 def build_incast(sim: Simulator, buffer_bytes: int,
                  ports: int = 4, drop_policy: str = "tail-drop",
                  algorithm: str = "drr", duration: float = 0.002,
+                 backend: Optional[str] = None,
                  tracer=None, metrics=None) -> Dataplane:
     """Wire the incast topology onto ``sim`` and start its generators.
 
@@ -61,7 +62,9 @@ def build_incast(sim: Simulator, buffer_bytes: int,
     statically classified to port ``p<i>``.  Port ``p0`` is the hot
     port (8 senders, 2x oversubscribed); every other port carries 2
     senders (0.5 load).  All ports share one ``buffer_bytes`` memory
-    under ``drop_policy``.
+    under ``drop_policy``.  ``backend`` selects each scheduler's
+    ordered-list engine (:mod:`repro.core.backends`; None means the
+    registry default) — a result-preserving substitution.
     """
     buffer = BufferManager(capacity_bytes=buffer_bytes,
                            policy=drop_policy,
@@ -80,6 +83,7 @@ def build_incast(sim: Simulator, buffer_bytes: int,
         def make_scheduler(port_tracer, port_metrics):
             return PieoScheduler(make_algorithm(algorithm),
                                  link_rate_bps=gbps(LINK_GBPS),
+                                 backend=backend,
                                  tracer=port_tracer,
                                  metrics=port_metrics)
 
@@ -108,8 +112,8 @@ def _incast_point(spec: Tuple, tracer=None,
     only when running sharded with tracing requested (the parent
     merges it).
     """
-    (index, buffer_kib, ports, drop_policy, algorithm, duration,
-     event_queue, traced) = spec
+    (index, buffer_kib, ports, drop_policy, algorithm, backend,
+     duration, event_queue, traced) = spec
     reset_packet_ids(point_seed(index))
     sink = None
     if tracer is None and traced:
@@ -119,6 +123,7 @@ def _incast_point(spec: Tuple, tracer=None,
     dataplane = build_incast(sim, buffer_bytes=buffer_kib * 1024,
                              ports=ports, drop_policy=drop_policy,
                              algorithm=algorithm, duration=duration,
+                             backend=backend,
                              tracer=tracer, metrics=metrics)
     sim.run_until(duration)
     conservation = dataplane.conservation()
@@ -144,6 +149,7 @@ def _incast_point(spec: Tuple, tracer=None,
 def incast_table(buffer_kib_sweep: Sequence[int] = DEFAULT_BUFFER_KIB,
                  ports: int = 4, drop_policy: str = "tail-drop",
                  algorithm: str = "drr", duration: float = 0.002,
+                 backend: Optional[str] = None,
                  tracer=None, metrics=None,
                  event_queue: str = "reference",
                  jobs: int = 1) -> Table:
@@ -153,8 +159,10 @@ def incast_table(buffer_kib_sweep: Sequence[int] = DEFAULT_BUFFER_KIB,
     events carry ``port`` labels; metric names are scoped
     ``port.<id>.*``); a ``mark`` event delimits each sweep point in the
     trace stream.  ``event_queue`` selects the simulator's
-    pending-event backend and ``jobs`` shards sweep points over
-    processes — both leave every result byte-identical.  (``metrics``
+    pending-event backend, ``backend`` the per-port schedulers'
+    ordered-list engine, and ``jobs`` shards sweep points over
+    processes — all three leave every result byte-identical.
+    (``metrics``
     aggregation is in-process, so a metrics-observed sweep always runs
     sequentially.)
     """
@@ -168,7 +176,7 @@ def incast_table(buffer_kib_sweep: Sequence[int] = DEFAULT_BUFFER_KIB,
                  "hot_drops", "evicted", "hot_gbps", "drop_pct"],
     )
     specs = [(index, buffer_kib, ports, drop_policy, algorithm,
-              duration, event_queue, tracer is not None)
+              backend, duration, event_queue, tracer is not None)
              for index, buffer_kib in enumerate(buffer_kib_sweep)]
     sharded = jobs > 1 and metrics is None
     if sharded:

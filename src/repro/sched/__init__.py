@@ -23,8 +23,10 @@ from repro.sched.priority import (EarliestDeadlineFirst, LeastSlackTimeFirst,
                                   ShortestRemainingTimeFirst, StrictPriority)
 from repro.sched.rcsp import RateControlledStaticPriority, RateJitterRegulator
 from repro.sched.registry import (available_algorithms, get_algorithm,
-                                  make_algorithm, register_algorithm)
+                                  get_spec, make_algorithm,
+                                  register_algorithm)
 from repro.sched.sfq import StochasticFairnessQueuing
+from repro.sched.spec import AlgorithmSpec
 from repro.sched.starvation import (AgingStrictPriority,
                                     install_aging_monitor, starving_flows)
 from repro.sched.tdma import TimeSlotted
@@ -64,8 +66,10 @@ __all__ = [
     "WF2Qplus",
     "WorstCaseFairWeightedFairQueuing",
     "WeightedFairQueuing",
+    "AlgorithmSpec",
     "available_algorithms",
     "get_algorithm",
+    "get_spec",
     "make_algorithm",
     "register_algorithm",
 ]

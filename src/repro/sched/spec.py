@@ -1,0 +1,117 @@
+"""Promised-bound metadata per registered scheduling algorithm.
+
+Every algorithm in the Section 4 catalogue implicitly promises formal
+guarantees from the scheduling literature — work conservation,
+GPS-relative delay bounds (Parekh/Gallager), fairness envelopes,
+token-bucket conformance, slot legality.  :class:`AlgorithmSpec` makes
+those promises *machine-readable* so :mod:`repro.conformance` can turn
+them into executable checks: the registry attaches one spec per entry
+and the conformance runner derives the applicable checker set from it.
+
+The spec also records **waivers**: documented, named deviations of the
+implementation from the textbook bound (checker name -> explanation).
+A waived checker still runs and reports, but does not fail the
+conformance verdict; every waiver carries a regression test pinning the
+observed behaviour so silent drift is caught.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+#: Checkers every algorithm must satisfy regardless of its spec.
+UNIVERSAL_CHECKERS: Tuple[str, ...] = (
+    "conservation", "per-flow-fifo", "link-overlap")
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """The formal guarantees one registered algorithm promises.
+
+    Parameters
+    ----------
+    work_conserving:
+        The link never idles while an eligible packet is queued
+        (``work-conservation`` checker).  Non-work-conserving
+        algorithms get the complementary ``idle-legality`` checker:
+        idling is legal only while every resident element is
+        ineligible.
+    shaped:
+        Elements carry wall-clock ``send_time`` eligibility and must
+        never depart early (``no-early-release``).
+    regulated:
+        Arrivals must pass through a
+        :class:`~repro.sched.rcsp.RateJitterRegulator` before the
+        scheduler sees them (RCSP's regulator/scheduler split).
+    slotted:
+        Departures must align to the TDMA slot grid and successive
+        grants of one flow must be at least a frame apart
+        (``tdma-slots``).
+    token_bucket:
+        Per-flow departures must conform to an ``(r, b)`` token bucket
+        reconstructed from the flow's rate and burst
+        (``token-bucket-conformance``).
+    priority_ordered:
+        Rank is the static flow priority: no packet of a
+        lower-priority flow may start service while a higher-priority
+        flow has an *eligible* element resident
+        (``priority-inversion``).
+    gps_delay_slack:
+        When set, every delivered packet must finish within
+        ``gps_delay_slack * L_max/R`` of its GPS fluid finish time
+        (``gps-delay-bound``).  1.0 is the Parekh–Gallager WFQ bound.
+    fairness_envelope_mtu:
+        When set, normalized service (bytes/weight) of continuously
+        backlogged flows may spread at most this many max-size packets
+        apart (``fairness-envelope``).
+    fairness_unit:
+        ``"bytes"`` (bit-level fairness, the WFQ family and DRR) or
+        ``"packets"`` (per-visit round robin, SFQ: one packet per
+        backlogged bucket per round, so byte service legitimately
+        drifts with mixed sizes while packet counts stay level).
+    scenario:
+        Default conformance scenario name (see
+        :mod:`repro.conformance.scenarios`).
+    waivers:
+        checker name -> documented explanation of a known, accepted
+        deviation.  Waived checkers run but do not fail the verdict.
+    """
+
+    work_conserving: bool = True
+    shaped: bool = False
+    regulated: bool = False
+    slotted: bool = False
+    token_bucket: bool = False
+    priority_ordered: bool = False
+    gps_delay_slack: Optional[float] = None
+    fairness_envelope_mtu: Optional[float] = None
+    fairness_unit: str = "bytes"
+    scenario: str = "backlogged"
+    waivers: Mapping[str, str] = field(default_factory=dict)
+
+    def checkers(self) -> Tuple[str, ...]:
+        """Names of every checker this spec makes applicable."""
+        names = list(UNIVERSAL_CHECKERS)
+        if self.work_conserving:
+            names.append("work-conservation")
+        else:
+            names.append("idle-legality")
+        if self.shaped:
+            names.append("no-early-release")
+        if self.gps_delay_slack is not None:
+            names.append("gps-delay-bound")
+        if self.fairness_envelope_mtu is not None:
+            names.append("fairness-envelope")
+        if self.priority_ordered:
+            names.append("priority-inversion")
+        if self.token_bucket:
+            names.append("token-bucket-conformance")
+        if self.slotted:
+            names.append("tdma-slots")
+        return tuple(names)
+
+    def is_waived(self, checker: str) -> Optional[str]:
+        """The waiver text for ``checker``, or ``None`` if it must
+        pass."""
+        return self.waivers.get(checker)

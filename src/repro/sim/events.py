@@ -66,8 +66,13 @@ class EventHandle:
             self.cancelled = True
             if not self.fired and self.sim is not None:
                 self.sim._note_cancel()
-            self.tracer.timer_cancel(self.time, self.event_id,
-                                     scope="sim")
+            # Stamp the cancel at the *current* sim time (the instant it
+            # happens); the armed deadline rides along as a field.  The
+            # deadline is usually in the future, and stamping it as the
+            # event time makes traced streams non-monotonic.
+            now = self.sim.now if self.sim is not None else self.time
+            self.tracer.timer_cancel(now, self.event_id,
+                                     scope="sim", deadline=self.time)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,81 @@
+"""CLI contract: ``python -m repro.conformance`` exit codes and output.
+
+The conformance CLI is CI's enforcement point, so its exit codes are
+part of the interface: 0 only when every unwaived checker passes, and
+the ``--inject`` self-test must drive it non-zero (proof the harness
+can actually fail).
+"""
+
+import json
+
+import pytest
+
+from repro.conformance.__main__ import main
+from repro.conformance.runner import check_trace
+from repro.conformance.scenarios import make_scenario
+from repro.conformance.runner import run_scenario
+
+
+def test_check_passes_for_conforming_algorithm(capsys):
+    assert main(["check", "--algorithm", "drr"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("PASS drr")
+
+
+def test_check_exits_nonzero_on_injected_reorder(capsys):
+    assert main(["check", "--algorithm", "drr",
+                 "--inject", "reorder"]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_check_exits_nonzero_on_injected_early(capsys):
+    assert main(["check", "--algorithm", "drr",
+                 "--inject", "early"]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_check_reports_waived_outcomes(capsys):
+    assert main(["check", "--algorithm", "wfq"]) == 0
+    out = capsys.readouterr().out
+    assert "waived" in out
+    assert "waiver:" in out
+
+
+def test_sweep_subset_passes(capsys):
+    assert main(["sweep", "--algorithm", "drr",
+                 "--algorithm", "strict-priority"]) == 0
+    out = capsys.readouterr().out
+    assert "all 2 algorithm(s) conform" in out
+
+
+def test_report_prints_bounds_and_waivers(capsys):
+    assert main(["report"]) == 0
+    out = capsys.readouterr().out
+    assert "gps-delay-bound" in out
+    assert "Documented waivers:" in out
+
+
+def test_scenario_override(capsys):
+    assert main(["check", "--algorithm", "drr",
+                 "--scenario", "poisson"]) == 0
+    assert "[poisson]" in capsys.readouterr().out
+
+
+def test_check_trace_audits_jsonl(tmp_path, capsys):
+    run = run_scenario(make_scenario("poisson"), "drr")
+    path = tmp_path / "run.jsonl"
+    with path.open("w") as sink:
+        for event in run.analysis.events:
+            record = event if isinstance(event, dict) else event
+            json.dump(dict(record), sink)
+            sink.write("\n")
+    reports = check_trace(str(path))
+    assert reports
+    assert all(report.passed for report in reports)
+    assert main(["check", "--trace", str(path)]) == 0
+    assert "PASS" in capsys.readouterr().out
+
+
+def test_unknown_algorithm_is_an_argparse_error():
+    with pytest.raises(SystemExit):
+        main(["check", "--algorithm", "definitely-not-registered"])

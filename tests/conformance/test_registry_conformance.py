@@ -1,0 +1,57 @@
+"""Every registered algorithm must pass its spec's conformance check.
+
+This is the executable form of the Section 4 catalogue's promises: the
+registry's :class:`~repro.sched.spec.AlgorithmSpec` derives the checker
+set, the spec's default scenario drives the run, and any unwaived
+violation fails the build.  Adding an algorithm to the registry
+automatically adds it here.
+"""
+
+import pytest
+
+from repro.conformance import check_algorithm
+from repro.sched.registry import available_algorithms, get_spec
+from repro.sched.spec import UNIVERSAL_CHECKERS
+
+
+@pytest.fixture(params=available_algorithms())
+def algorithm_name(request):
+    """Every registered algorithm name (the conformance registry
+    fixture: new registrations are picked up automatically)."""
+    return request.param
+
+
+def test_algorithm_conforms_to_spec(algorithm_name):
+    report = check_algorithm(algorithm_name)
+    failures = [
+        outcome for outcome in report.outcomes
+        if outcome.violations and not outcome.waived]
+    assert report.passed, (
+        f"{algorithm_name} violated: "
+        + "; ".join(str(violation) for outcome in failures
+                    for violation in outcome.violations[:3]))
+
+
+def test_spec_checker_set_is_derived(algorithm_name):
+    spec = get_spec(algorithm_name)
+    checkers = spec.checkers()
+    for name in UNIVERSAL_CHECKERS:
+        assert name in checkers
+    # Exactly one of the work-conservation pair applies.
+    assert (("work-conservation" in checkers)
+            != ("idle-legality" in checkers))
+    # Every waiver must reference a checker the spec actually runs.
+    for waived in spec.waivers:
+        assert waived in checkers, (
+            f"{algorithm_name} waives {waived!r} which its spec never "
+            "runs")
+
+
+def test_waived_checkers_still_report(algorithm_name):
+    """A waiver must not silence the checker: outcomes carry the
+    violations alongside the waiver text."""
+    report = check_algorithm(algorithm_name)
+    spec = get_spec(algorithm_name)
+    for outcome in report.outcomes:
+        if spec.is_waived(outcome.checker):
+            assert outcome.waived == spec.waivers[outcome.checker]

@@ -12,8 +12,10 @@ import io
 
 import pytest
 
+from repro.core.backends import available_backends
 from repro.experiments.fig11_rate_limit import rate_limit_table
 from repro.experiments.fig12_fair_queue import fair_queue_table
+from repro.experiments.incast import incast_table
 from repro.experiments.runner import (POINT_ID_STRIDE, point_seed,
                                       run_sweep)
 from repro.obs import Tracer
@@ -75,3 +77,35 @@ def test_run_sweep_preserves_spec_order():
 
 def _square(n):
     return n * n
+
+
+# ----------------------------------------------------------------------
+# Multi-port incast: the same byte-identity contract must hold with a
+# shared buffer in the loop, for every ordered-list backend.
+# ----------------------------------------------------------------------
+def _incast(jobs, event_queue, backend):
+    sink = io.StringIO()
+    tracer = Tracer(capacity=0, sink=sink)
+    table = incast_table(buffer_kib_sweep=(8, 32), duration=5e-4,
+                         tracer=tracer, event_queue=event_queue,
+                         jobs=jobs, backend=backend)
+    return table.to_text(), sink.getvalue()
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_incast_byte_identical_across_queues_and_jobs(backend):
+    """4-port incast output is a function of the sweep spec alone:
+    substituting the calendar event queue for the reference heap,
+    sharding over 4 workers, or both, must reproduce the sequential
+    reference run byte for byte — under every list backend."""
+    baseline_text, baseline_trace = _incast(1, "reference", backend)
+    assert baseline_trace.count('"kind":"mark"') == 2  # one per point
+    for jobs, event_queue in ((4, "reference"), (1, "calendar"),
+                              (4, "calendar")):
+        text, trace = _incast(jobs, event_queue, backend)
+        assert text == baseline_text, (
+            f"{backend}: table diverged at jobs={jobs}, "
+            f"event_queue={event_queue}")
+        assert trace == baseline_trace, (
+            f"{backend}: trace diverged at jobs={jobs}, "
+            f"event_queue={event_queue}")

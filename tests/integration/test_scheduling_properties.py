@@ -19,6 +19,8 @@ from repro.sched import (DeficitRoundRobin, PieoScheduler,
 from repro.sim import (FlowQueue, Link, PoissonGenerator, Simulator,
                        TransmitEngine, gbps)
 
+from tests.scenarios import run_workload
+
 ALGORITHMS = [
     DeficitRoundRobin,
     WeightedFairQueuing,
@@ -27,30 +29,6 @@ ALGORITHMS = [
     StrictPriority,
     TokenBucket,
 ]
-
-
-def run_workload(algorithm_factory, list_factory=None, duration=0.01,
-                 seed=21):
-    sim = Simulator()
-    link = Link(gbps(5))
-    ordered_list = list_factory() if list_factory else None
-    scheduler = PieoScheduler(algorithm_factory(),
-                              ordered_list=ordered_list,
-                              link_rate_bps=link.rate_bps)
-    engine = TransmitEngine(sim, scheduler, link)
-    rng = random.Random(seed)
-    for index in range(6):
-        flow = FlowQueue(f"f{index}", weight=1 + index % 3,
-                         rate_bps=gbps(0.2 + 0.2 * index),
-                         priority=index % 4)
-        scheduler.add_flow(flow)
-        PoissonGenerator(sim, flow.flow_id, engine.arrival_sink,
-                         rate_bps=gbps(0.5),
-                         size_bytes=rng.choice([300, 700, 1500]),
-                         rng=random.Random(seed * 31 + index),
-                         end_time=duration * 0.8).start(0.0)
-    sim.run_until(duration)
-    return sim, scheduler, engine
 
 
 @pytest.mark.parametrize("algorithm_factory", ALGORITHMS,

@@ -8,7 +8,7 @@ from repro.sched import (ControlPlane, PieoScheduler, StrictPriority,
 from repro.sched.base import TriggerModel
 from repro.sim import FlowQueue, Packet, gbps
 
-from .helpers import FlatRun
+from tests.scenarios import FlatRun
 
 
 def test_reads():

@@ -6,7 +6,7 @@ from repro.errors import ConfigurationError
 from repro.sched import MultiLevelFeedbackQueue, PieoScheduler
 from repro.sim import FlowQueue, Packet, gbps
 
-from .helpers import FlatRun
+from tests.scenarios import FlatRun
 
 KB = 1000
 

@@ -10,7 +10,7 @@ from repro.sim import (FlowQueue, Link, Packet, Simulator, TransmitEngine,
                        gbps)
 from repro.sim.packet import MTU_BYTES
 
-from .helpers import FlatRun
+from tests.scenarios import FlatRun
 
 MEASURE_START = 0.005
 DURATION = 0.05

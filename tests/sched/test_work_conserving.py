@@ -9,7 +9,7 @@ from repro.sched import (DeficitRoundRobin, StochasticFairnessQueuing,
                          WF2Qplus, WeightedFairQueuing)
 from repro.sim.flow import FlowQueue
 
-from .helpers import FlatRun
+from tests.scenarios import FlatRun
 
 MEASURE_START = 0.002
 DURATION = 0.02
