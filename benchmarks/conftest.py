@@ -2,27 +2,52 @@
 
 Every benchmark regenerates one paper table/figure.  Because pytest
 captures stdout, each generated table is also written to
-``bench_results/<name>.txt`` next to this file, so the figures are
-inspectable after a plain ``pytest benchmarks/ --benchmark-only`` run.
+``bench_results/<name>.txt`` next to this file — through the one shared
+provenance-stamping writer
+(:func:`repro.bench.results.write_table_text`), so every committed
+artifact records the git commit, run date, and host calibration score
+it was measured under.
 """
 
 from __future__ import annotations
 
+import datetime
 import pathlib
+import sys
 
 import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "src"))
+
+from repro.bench.harness import calibration_score  # noqa: E402
+from repro.bench.results import git_commit, write_table_text  # noqa: E402
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "bench_results"
 
 
+@pytest.fixture(scope="session")
+def bench_provenance():
+    """Session-wide provenance facts: (run_date, commit, calibration).
+
+    Calibration is measured once per session — it stamps artifacts with
+    the host's rough speed so a committed table can be read in context;
+    per-benchmark normalization still interleaves its own calibration.
+    """
+    return (datetime.date.today().isoformat(), git_commit(),
+            calibration_score())
+
+
 @pytest.fixture
-def save_table():
+def save_table(bench_provenance):
     """Persist (and print) an experiment table; returns the table."""
+    run_date, commit, calibration = bench_provenance
 
     def _save(name, table):
-        RESULTS_DIR.mkdir(exist_ok=True)
         text = table.to_text()
-        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        write_table_text(RESULTS_DIR / f"{name}.txt", text,
+                         run_date=run_date, commit=commit,
+                         calibration_mops=calibration)
         print()
         print(text)
         return table

@@ -9,14 +9,17 @@ hot path.  The gated metric is
 
     normalized = (workload packets/sec) / (calibration Mops/sec)
 
-which cancels host speed to first order.  Two scenarios are gated
-independently: ``hier`` (the single-link fig12 fast configuration) and
-``incast`` (a 4-port shared-buffer dataplane under 2x oversubscription,
-exercising the classifier/admission/multi-engine path).  ``--check``
-fails when either measured median drops more than 30% below its
-committed baseline in ``bench_results/perf_smoke_baseline.json``;
-refresh the baseline with ``--write-baseline`` after an intentional
-perf change.
+which cancels host speed to first order.  The calibration loop itself
+lives in :mod:`repro.bench.harness` (shared with ``python -m
+repro.bench``).  Two scenarios are gated independently: ``hier`` (the
+single-link fig12 fast configuration) and ``incast`` (a 4-port
+shared-buffer dataplane under 2x oversubscription, exercising the
+classifier/admission/multi-engine path).  ``--check`` fails when either
+measured median drops more than 30% below its committed baseline in
+``bench_results/perf_smoke_baseline.json``; refresh the baseline with
+``--write-baseline`` after an intentional perf change.  Every run also
+drops a machine-readable ``BENCH_perf_smoke.json`` trajectory point at
+the repo root (schema: :mod:`repro.bench.results`).
 
 Usage::
 
@@ -28,7 +31,7 @@ from __future__ import annotations
 
 import argparse
 import cProfile
-import heapq
+import datetime
 import io
 import json
 import pathlib
@@ -40,14 +43,18 @@ import time
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
                        / "src"))
 
+from repro.bench import results as bench_results  # noqa: E402
+from repro.bench.harness import calibration_score  # noqa: E402
 from repro.experiments.hier_common import (default_node_rates,  # noqa: E402
                                            run_hierarchy)
 from repro.experiments.incast import build_incast  # noqa: E402
 from repro.sim.events import Simulator  # noqa: E402
 from repro.sim.packet import reset_packet_ids  # noqa: E402
 
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BASELINE_PATH = (pathlib.Path(__file__).parent / "bench_results"
                  / "perf_smoke_baseline.json")
+BENCH_JSON_PATH = REPO_ROOT / bench_results.bench_filename("perf_smoke")
 DURATION = 0.003
 INCAST_DURATION = 0.002
 INCAST_BUFFER_KIB = 64
@@ -55,23 +62,6 @@ ROUNDS = 3
 #: Fail --check when the median normalized score drops more than this
 #: fraction below the committed baseline.
 TOLERANCE = 0.30
-
-
-def calibration_score(iterations: int = 300_000) -> float:
-    """Mops/sec of a fixed pure-Python loop shaped like the sim's hot
-    path (integer LCG, tuple heap push/pop, dict get/set)."""
-    heap: list = []
-    table: dict = {}
-    state = 12345
-    start = time.perf_counter()
-    for index in range(iterations):
-        state = (1103515245 * state + 12345) % 2147483648
-        heapq.heappush(heap, (state, index))
-        if len(heap) > 64:
-            _, evicted = heapq.heappop(heap)
-            table[evicted & 255] = evicted
-    elapsed = time.perf_counter() - start
-    return iterations / elapsed / 1e6
 
 
 def hier_pps() -> float:
@@ -109,16 +99,52 @@ SCENARIOS = {
 }
 
 
-def measure(rounds: int = ROUNDS) -> dict:
-    """Median normalized score per scenario over interleaved
-    calibrate/run rounds."""
+def measure_samples(rounds: int = ROUNDS) -> tuple:
+    """Per-scenario normalized samples (plus the calibration scores)
+    over interleaved calibrate/run rounds."""
     scores: dict = {name: [] for name in SCENARIOS}
+    calibrations: list = []
     for _ in range(rounds):
         for name, workload in SCENARIOS.items():
             calibration = calibration_score()
+            calibrations.append(calibration)
             scores[name].append(workload() / calibration)
+    return scores, calibrations
+
+
+def measure(rounds: int = ROUNDS) -> dict:
+    """Median normalized score per scenario over interleaved
+    calibrate/run rounds."""
+    scores, _ = measure_samples(rounds)
     return {name: statistics.median(values)
             for name, values in scores.items()}
+
+
+def write_bench_json(scores: dict, calibrations: list,
+                     path: pathlib.Path = BENCH_JSON_PATH,
+                     run_date=None, rounds: int = ROUNDS
+                     ) -> pathlib.Path:
+    """Emit the gate's samples as a ``BENCH_perf_smoke.json`` record.
+
+    Multi-metric: each scenario's normalized score is one gated metric
+    (``hier_normalized``, ``incast_normalized``), so the same file both
+    feeds ``python -m repro.bench compare`` and archives the exact
+    samples the ``--check`` gate measured.
+    """
+    if run_date is None:
+        run_date = datetime.date.today().isoformat()
+    metrics = {
+        f"{name}_normalized": bench_results.make_metric(
+            "packets/sec per calibration Mops/sec", values, gated=True)
+        for name, values in scores.items()
+    }
+    metrics["calibration_mops"] = bench_results.make_metric(
+        "Mops/sec", calibrations)
+    record = bench_results.make_result(
+        "perf_smoke", metrics, counts={}, attribution=None,
+        provenance=bench_results.make_provenance(
+            run_date, rounds=rounds, tolerance=TOLERANCE))
+    return bench_results.write_bench(path, record)
 
 
 def write_profile(path: pathlib.Path) -> None:
@@ -145,13 +171,24 @@ def main(argv) -> int:
                         help="measure and overwrite the baseline file")
     parser.add_argument("--profile", metavar="OUT", default=None,
                         help="also write a cProfile summary to OUT")
+    parser.add_argument("--bench-json", metavar="PATH",
+                        default=str(BENCH_JSON_PATH),
+                        help="where to write the machine-readable "
+                             "BENCH record ('' disables)")
     args = parser.parse_args(argv[1:])
 
-    scores = measure()
+    samples, calibrations = measure_samples()
+    scores = {name: statistics.median(values)
+              for name, values in samples.items()}
     for name, score in scores.items():
         print(f"{name}: normalized score {score:.3f} "
               f"(packets/sec per calibration Mops/sec, "
               f"median of {ROUNDS} rounds)")
+
+    if args.bench_json:
+        destination = write_bench_json(samples, calibrations,
+                                       pathlib.Path(args.bench_json))
+        print(f"bench record -> {destination}")
 
     if args.profile:
         write_profile(pathlib.Path(args.profile))

@@ -1,0 +1,211 @@
+"""CLI: measure, gate, and report the BENCH_*.json perf trajectory.
+
+Usage::
+
+    python -m repro.bench run [--quick] [--scenario NAME ...]
+                              [--out-dir DIR] [--rounds N]
+                              [--no-profile] [--run-date DATE]
+    python -m repro.bench compare --current-dir DIR
+                              [--baseline-dir DIR] [--tolerance X]
+                              [--scenario NAME ...] [--quick]
+    python -m repro.bench report [--dir DIR] [--scenario NAME ...]
+    python -m repro.bench list
+
+``run`` measures each scenario with the interleaved calibration-loop
+protocol (see :mod:`repro.bench.harness`) and writes one schema-versioned
+``BENCH_<scenario>.json`` per scenario into ``--out-dir`` (default: the
+current directory — the repo root holds the committed trajectory).
+``compare`` gates a current run against committed baselines and exits
+non-zero on regression (1) or missing/malformed files (2).  ``report``
+pretty-prints BENCH files including the component wall-time
+attribution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import pathlib
+import sys
+
+from repro.bench.compare import (DEFAULT_TOLERANCE, EXIT_ERROR,
+                                 compare_dirs)
+from repro.bench.harness import available_scenarios, measure_scenario
+from repro.bench.results import (BenchFormatError, bench_path,
+                                 load_bench, write_bench)
+from repro.errors import ConfigurationError
+
+
+def _selected_scenarios(args) -> list:
+    if args.scenario:
+        return list(args.scenario)
+    return available_scenarios(quick=getattr(args, "quick", False))
+
+
+def _cmd_run(args) -> int:
+    run_date = args.run_date or datetime.date.today().isoformat()
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for name in _selected_scenarios(args):
+        record = measure_scenario(
+            name, quick=args.quick, rounds=args.rounds,
+            profile=not args.no_profile, run_date=run_date)
+        path = write_bench(bench_path(out_dir, name), record)
+        normalized = record["metrics"]["normalized"]
+        attribution = record["attribution"]
+        attributed = (f"{attribution['attributed_fraction'] * 100:.1f}%"
+                      if attribution is not None else "n/a")
+        print(f"{name}: normalized {normalized['median']:.3f} "
+              f"(iqr {normalized['iqr']:.3f}, "
+              f"{normalized['unit']}), attribution {attributed} "
+              f"-> {path}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    scenarios = _selected_scenarios(args)
+    comparisons, errors, exit_code = compare_dirs(
+        args.baseline_dir, args.current_dir, scenarios,
+        tolerance=args.tolerance)
+    for error in errors:
+        print(error, file=sys.stderr)
+    for row in comparisons:
+        print(row.describe())
+    if exit_code == 0:
+        print("OK")
+    elif exit_code == 1:
+        print("FAIL: gated benchmark metric regressed beyond "
+              f"{args.tolerance:.0%} tolerance", file=sys.stderr)
+    return exit_code
+
+
+def _cmd_report(args) -> int:
+    directory = pathlib.Path(args.dir)
+    scenarios = args.scenario or sorted(
+        path.name[len("BENCH_"):-len(".json")]
+        for path in directory.glob("BENCH_*.json"))
+    if not scenarios:
+        print(f"no BENCH_*.json files in {directory}", file=sys.stderr)
+        return EXIT_ERROR
+    status = 0
+    for name in scenarios:
+        try:
+            record = load_bench(bench_path(directory, name))
+        except BenchFormatError as error:
+            print(error, file=sys.stderr)
+            status = EXIT_ERROR
+            continue
+        provenance = record["provenance"]
+        print(f"== {record['scenario']} "
+              f"(commit {provenance.get('git_commit', '?')}, "
+              f"{provenance.get('run_date', '?')}, "
+              f"rounds={provenance.get('rounds', '?')}"
+              f"{', quick' if provenance.get('quick') else ''})")
+        for metric_name, metric in sorted(record["metrics"].items()):
+            gate = " [gated]" if metric.get("gated") else ""
+            print(f"  {metric_name:<18s} median {metric['median']:.3f} "
+                  f"iqr {metric['iqr']:.3f} ({metric['unit']}){gate}")
+        if record["counts"]:
+            print("  counts: " + ", ".join(
+                f"{key}={value}"
+                for key, value in sorted(record["counts"].items())))
+        attribution = record["attribution"]
+        if attribution is not None:
+            print(f"  attribution ({attribution['samples']} samples @ "
+                  f"{attribution['interval_s'] * 1e3:.1f} ms, "
+                  f"{attribution['attributed_fraction'] * 100:.1f}% "
+                  "attributed, overhead "
+                  f"{attribution['overhead_s']:.4f} s):")
+            for component, fraction in sorted(
+                    attribution["components"].items(),
+                    key=lambda item: -item[1]):
+                print(f"    {component:<22s} {fraction * 100:6.1f}%")
+        print()
+    return status
+
+
+def _cmd_list(args) -> int:
+    from repro.bench.harness import SCENARIOS
+    for name, scenario in SCENARIOS.items():
+        quick = "quick" if scenario.quick else "full-only"
+        print(f"{name:10s} [{quick}] {scenario.description} "
+              f"({scenario.unit})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Measure, gate, and report the BENCH_*.json "
+                    "performance trajectory.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_scenarios(command):
+        command.add_argument("--scenario", action="append", default=[],
+                             metavar="NAME",
+                             help="scenario to include (repeatable; "
+                             "default: the quick set for --quick, all "
+                             "otherwise)")
+
+    run = sub.add_parser("run", help="measure scenarios and write "
+                         "BENCH_<scenario>.json files")
+    add_scenarios(run)
+    run.add_argument("--quick", action="store_true",
+                     help="CI mode: fewer rounds, quick scenario set")
+    run.add_argument("--out-dir", default=".", metavar="DIR",
+                     help="directory for BENCH_*.json (default: .)")
+    run.add_argument("--rounds", type=int, default=None, metavar="N",
+                     help="override interleaved calibrate/run rounds")
+    run.add_argument("--no-profile", action="store_true",
+                     help="skip the sampling profiler (no attribution "
+                     "block)")
+    run.add_argument("--run-date", default=None, metavar="DATE",
+                     help="provenance run date (default: today)")
+    run.set_defaults(handler=_cmd_run)
+
+    compare = sub.add_parser("compare", help="gate current BENCH files "
+                             "against baselines; non-zero on "
+                             "regression")
+    add_scenarios(compare)
+    compare.add_argument("--baseline-dir", default=".", metavar="DIR",
+                         help="directory holding committed baselines "
+                         "(default: .)")
+    compare.add_argument("--current-dir", required=True, metavar="DIR",
+                         help="directory holding the current run's "
+                         "BENCH files")
+    compare.add_argument("--tolerance", type=float,
+                         default=DEFAULT_TOLERANCE, metavar="X",
+                         help="allowed fractional drop below baseline "
+                         f"(default {DEFAULT_TOLERANCE})")
+    compare.add_argument("--quick", action="store_true",
+                         help="gate only the quick scenario set")
+    compare.set_defaults(handler=_cmd_compare)
+
+    report = sub.add_parser("report", help="pretty-print BENCH files "
+                            "with attribution")
+    add_scenarios(report)
+    report.add_argument("--dir", default=".", metavar="DIR",
+                        help="directory holding BENCH files "
+                        "(default: .)")
+    report.set_defaults(handler=_cmd_report)
+
+    lister = sub.add_parser("list", help="list registered scenarios")
+    lister.set_defaults(handler=_cmd_list)
+    return parser
+
+
+def main(argv) -> int:
+    args = build_parser().parse_args(argv[1:])
+    if getattr(args, "rounds", None) is not None and args.rounds < 1:
+        print(f"--rounds must be >= 1, got {args.rounds}",
+              file=sys.stderr)
+        return 2
+    try:
+        return args.handler(args)
+    except ConfigurationError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,269 @@
+"""Machine-readable benchmark results: the ``BENCH_*.json`` schema.
+
+One ``BENCH_<scenario>.json`` file at the repository root records one
+scenario's measured performance trajectory point.  The schema
+(version :data:`SCHEMA_VERSION`):
+
+.. code-block:: json
+
+    {
+      "schema_version": 1,
+      "scenario": "hier",
+      "metrics": {
+        "normalized": {"unit": "packets/sec per calibration Mops/sec",
+                       "median": 123.4, "iqr": 1.2,
+                       "samples": [122.9, 123.4, 124.0],
+                       "gated": true},
+        "raw_rate": {"unit": "packets/sec", "...": "gated: false"},
+        "calibration_mops": {"unit": "Mops/sec", "...": "gated: false"},
+        "wall_s": {"unit": "seconds", "...": "gated: false"}
+      },
+      "counts": {"packets": 4242},
+      "attribution": {
+        "interval_s": 0.002, "samples": 310,
+        "components": {"sim.events": 0.41, "core.backends": 0.22},
+        "attributed_fraction": 0.97, "overhead_s": 0.003
+      },
+      "provenance": {"git_commit": "abc1234", "run_date": "2026-08-08",
+                     "rounds": 3, "quick": false}
+    }
+
+Only metrics with ``"gated": true`` participate in the
+:mod:`repro.bench.compare` regression gate — the calibration-normalized
+scores, whose host dependence cancels to first order.  Raw rates, wall
+times, and calibration scores are recorded for context but never gated.
+``attribution`` is ``null`` when the run was not profiled.
+
+This module is also the one shared writer for the human-readable
+``bench_results/*.txt`` tables: :func:`write_table_text` prepends the
+provenance header (git commit, calibration score, schema version, run
+date — the date is always passed in explicitly so writers stay
+deterministic under test).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import statistics
+import subprocess
+from typing import Dict, Optional, Sequence
+
+#: Version stamped on (and required from) every BENCH json file.
+SCHEMA_VERSION = 1
+
+#: Top-level keys every BENCH record must carry.
+REQUIRED_KEYS = ("schema_version", "scenario", "metrics", "counts",
+                 "attribution", "provenance")
+
+#: Keys every metric entry must carry.
+METRIC_KEYS = ("unit", "median", "iqr", "samples", "gated")
+
+
+class BenchFormatError(ValueError):
+    """A BENCH json file is missing, malformed, or wrong-versioned."""
+
+
+def bench_filename(scenario: str) -> str:
+    return f"BENCH_{scenario}.json"
+
+
+def bench_path(directory, scenario: str) -> pathlib.Path:
+    return pathlib.Path(directory) / bench_filename(scenario)
+
+
+def git_commit(cwd=None) -> str:
+    """Short commit hash of the working tree, or ``"unknown"``."""
+    try:
+        output = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if output.returncode != 0:
+        return "unknown"
+    return output.stdout.strip() or "unknown"
+
+
+def make_metric(unit: str, samples: Sequence[float],
+                gated: bool = False) -> Dict[str, object]:
+    """One metric entry: median/IQR plus the raw samples."""
+    values = [float(value) for value in samples]
+    if not values:
+        raise ValueError("a metric needs at least one sample")
+    if len(values) >= 2:
+        quartiles = statistics.quantiles(values, n=4,
+                                         method="inclusive")
+        iqr = quartiles[2] - quartiles[0]
+    else:
+        iqr = 0.0
+    return {"unit": unit, "median": statistics.median(values),
+            "iqr": iqr, "samples": values, "gated": bool(gated)}
+
+
+def make_provenance(run_date: str, commit: Optional[str] = None,
+                    rounds: int = 1, quick: bool = False,
+                    **extra) -> Dict[str, object]:
+    """Provenance block; ``run_date`` is always passed in explicitly."""
+    record: Dict[str, object] = {
+        "git_commit": commit if commit is not None else git_commit(),
+        "run_date": run_date,
+        "rounds": rounds,
+        "quick": bool(quick),
+    }
+    record.update(extra)
+    return record
+
+
+def make_result(scenario: str, metrics: Dict[str, Dict[str, object]],
+                counts: Dict[str, int],
+                attribution: Optional[Dict[str, object]],
+                provenance: Dict[str, object]) -> Dict[str, object]:
+    record = {
+        "schema_version": SCHEMA_VERSION,
+        "scenario": scenario,
+        "metrics": metrics,
+        "counts": counts,
+        "attribution": attribution,
+        "provenance": provenance,
+    }
+    return validate_result(record)
+
+
+def validate_result(record, source: str = "BENCH record"):
+    """Validate a BENCH record against the schema; returns it.
+
+    Raises :class:`BenchFormatError` naming the offending key, so a
+    corrupted trajectory file fails loudly instead of silently gating
+    against garbage.
+    """
+    if not isinstance(record, dict):
+        raise BenchFormatError(f"{source}: not a JSON object")
+    for key in REQUIRED_KEYS:
+        if key not in record:
+            raise BenchFormatError(f"{source}: missing key {key!r}")
+    if record["schema_version"] != SCHEMA_VERSION:
+        raise BenchFormatError(
+            f"{source}: unsupported schema_version "
+            f"{record['schema_version']!r} (expected {SCHEMA_VERSION})")
+    if not isinstance(record["scenario"], str) or not record["scenario"]:
+        raise BenchFormatError(f"{source}: scenario must be a "
+                               "non-empty string")
+    metrics = record["metrics"]
+    if not isinstance(metrics, dict) or not metrics:
+        raise BenchFormatError(f"{source}: metrics must be a non-empty "
+                               "object")
+    for name, metric in metrics.items():
+        if not isinstance(metric, dict):
+            raise BenchFormatError(
+                f"{source}: metric {name!r} is not an object")
+        for key in METRIC_KEYS:
+            if key not in metric:
+                raise BenchFormatError(
+                    f"{source}: metric {name!r} missing key {key!r}")
+        if not isinstance(metric["samples"], list) \
+                or not metric["samples"]:
+            raise BenchFormatError(
+                f"{source}: metric {name!r} samples must be a "
+                "non-empty list")
+        for key in ("median", "iqr"):
+            if not isinstance(metric[key], (int, float)) \
+                    or isinstance(metric[key], bool):
+                raise BenchFormatError(
+                    f"{source}: metric {name!r} {key} must be a number")
+    if not isinstance(record["counts"], dict):
+        raise BenchFormatError(f"{source}: counts must be an object")
+    attribution = record["attribution"]
+    if attribution is not None:
+        if not isinstance(attribution, dict):
+            raise BenchFormatError(
+                f"{source}: attribution must be an object or null")
+        components = attribution.get("components")
+        if not isinstance(components, dict):
+            raise BenchFormatError(
+                f"{source}: attribution.components must be an object")
+    if not isinstance(record["provenance"], dict):
+        raise BenchFormatError(f"{source}: provenance must be an object")
+    return record
+
+
+def gated_metrics(record) -> Dict[str, Dict[str, object]]:
+    return {name: metric
+            for name, metric in record["metrics"].items()
+            if metric.get("gated")}
+
+
+def write_bench(path, record) -> pathlib.Path:
+    path = pathlib.Path(path)
+    validate_result(record, source=str(path))
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench(path):
+    """Read and validate one BENCH json file.
+
+    Raises :class:`BenchFormatError` on a missing file, invalid JSON, or
+    a record that fails schema validation.
+    """
+    path = pathlib.Path(path)
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        raise BenchFormatError(f"{path}: no such BENCH file") from None
+    try:
+        record = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise BenchFormatError(
+            f"{path}: invalid JSON ({error.msg} at line "
+            f"{error.lineno})") from error
+    return validate_result(record, source=str(path))
+
+
+# ----------------------------------------------------------------------
+# Shared writer for the human-readable bench_results/*.txt tables
+# ----------------------------------------------------------------------
+def provenance_header(run_date: str, commit: Optional[str] = None,
+                      calibration_mops: Optional[float] = None) -> str:
+    """Comment header stamped on every generated table artifact."""
+    lines = [
+        f"# repro bench artifact (schema v{SCHEMA_VERSION})",
+        f"# git-commit: {commit if commit is not None else git_commit()}",
+        f"# run-date: {run_date}",
+        "# calibration-mops: "
+        + (f"{calibration_mops:.3f}" if calibration_mops is not None
+           else "n/a"),
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def write_table_text(path, text: str, run_date: str,
+                     commit: Optional[str] = None,
+                     calibration_mops: Optional[float] = None
+                     ) -> pathlib.Path:
+    """Write one table artifact with its provenance header.
+
+    The single shared writer for ``bench_results/*.txt``: header lines
+    are ``#``-prefixed so anything that consumes the tables can skip
+    them, and ``run_date`` is explicit so writers stay deterministic.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = provenance_header(run_date, commit=commit,
+                               calibration_mops=calibration_mops)
+    path.write_text(header + "\n" + text.rstrip("\n") + "\n")
+    return path
+
+
+def strip_provenance(text: str) -> str:
+    """Drop the provenance header from a table artifact's text."""
+    lines = [line for line in text.splitlines()
+             if not line.startswith("#")]
+    while lines and not lines[0].strip():
+        lines.pop(0)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def read_table_text(path) -> str:
+    """Read a table artifact back without its provenance header."""
+    return strip_provenance(pathlib.Path(path).read_text())

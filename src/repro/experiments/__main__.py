@@ -12,6 +12,8 @@ Usage::
     python -m repro.experiments incast --ports 4 --drop-policy red
     python -m repro.experiments incast --algorithm wfq --trace t.jsonl
     python -m repro.experiments --list-algorithms
+    python -m repro.experiments fig12 --jobs 4 --heartbeat
+    python -m repro.experiments fig11 --trace t.jsonl --profile-runtime
 
 ``--backend`` selects the ordered-list engine (from the
 :mod:`repro.core.backends` registry) for the experiments that exercise a
@@ -38,6 +40,16 @@ experiments' points over N worker processes.  Both are
 result-preserving: tables and traces stay byte-identical to the
 defaults (DESIGN.md section 9).
 
+``--heartbeat`` reports sweep liveness (points completed, per-point
+wall time, ETA, worker health) on stderr — and, when tracing, as
+``sweep.heartbeat`` mark events (wall-clock fields, so the trace is no
+longer byte-reproducible).  ``--profile-runtime [FILE]`` samples the
+host call stack for the whole run and writes a per-component wall-time
+attribution report (:mod:`repro.obs.runtime`): JSON to ``FILE``, to
+``<trace>.runtime.json`` when only ``--trace`` is given (where
+``python -m repro.obs summarize`` picks it up automatically), or text
+to stderr with neither.
+
 The multi-port incast experiment additionally honours ``--ports N``
 (output-port count), ``--drop-policy NAME`` (shared-buffer admission,
 from the :mod:`repro.sim.buffer` registry; see
@@ -50,6 +62,7 @@ composition.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import inspect
 import sys
 
@@ -83,6 +96,25 @@ EXPERIMENTS = {
     "structures": (structure_comparison_table,),
 }
 
+#: Reusable no-op scope for the unprofiled path.
+_NULL_PHASE = contextlib.nullcontext()
+
+
+def _write_runtime_report(report, dest, trace_path) -> None:
+    """Emit a ``--profile-runtime`` report: JSON to a file, or text to
+    stderr when the destination is ``-`` (the traceless default)."""
+    import json
+    if dest == "":
+        dest = (f"{trace_path}.runtime.json" if trace_path is not None
+                else "-")
+    if dest == "-":
+        print(report.to_text(), file=sys.stderr)
+        return
+    with open(dest, "w") as handle:
+        json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"runtime profile -> {dest}", file=sys.stderr)
+
 
 def _print_charts() -> None:
     from repro.experiments.charts import (fig8_chart, fig10_chart,
@@ -94,11 +126,13 @@ def _print_charts() -> None:
 
 def _call(table_fn, backend, tracer=None, metrics=None, duration=None,
           event_queue=None, jobs=None, ports=None, drop_policy=None,
-          algorithm=None):
+          algorithm=None, heartbeat=None):
     """Pass each option only to experiments that accept it, so the
     cycle-accurate tables stay untouched by the flags."""
     parameters = inspect.signature(table_fn).parameters
     kwargs = {}
+    if heartbeat is not None and "heartbeat" in parameters:
+        kwargs["heartbeat"] = heartbeat
     if backend is not None and "backend" in parameters:
         kwargs["backend"] = backend
     if tracer is not None and "tracer" in parameters:
@@ -183,6 +217,19 @@ def main(argv) -> int:
     parser.add_argument(
         "--list-algorithms", action="store_true",
         help="list registered scheduling algorithms and exit")
+    parser.add_argument(
+        "--profile-runtime", nargs="?", const="", default=None,
+        metavar="FILE",
+        help="profile host wall-clock time during the run and write a "
+             "component-attribution report (JSON) to FILE; with no "
+             "FILE, defaults to <trace>.runtime.json when --trace is "
+             "given, else prints the report to stderr")
+    parser.add_argument(
+        "--heartbeat", action="store_true",
+        help="report sweep liveness (points done, per-point wall time, "
+             "ETA) on stderr and, with --trace, as heartbeat mark "
+             "events (wall-clock fields make the trace "
+             "non-reproducible)")
     args = parser.parse_args(argv[1:])
 
     if args.list_backends:
@@ -261,6 +308,15 @@ def main(argv) -> int:
     if args.metrics is not None:
         from repro.obs import MetricsRegistry
         metrics = MetricsRegistry()
+    heartbeat = None
+    if args.heartbeat:
+        from repro.obs.runtime import SweepHeartbeat
+        heartbeat = SweepHeartbeat(tracer=tracer)
+    profiler = None
+    if args.profile_runtime is not None:
+        from repro.obs.runtime import RuntimeProfiler
+        profiler = RuntimeProfiler()
+        profiler.start()
 
     keys = args.keys if args.keys else list(EXPERIMENTS) + ["charts"]
     try:
@@ -273,13 +329,17 @@ def main(argv) -> int:
                       f"{', '.join(EXPERIMENTS)}, charts")
                 return 2
             for table_fn in EXPERIMENTS[key]:
-                print(_call(table_fn, args.backend, tracer=tracer,
-                            metrics=metrics,
-                            duration=args.duration,
-                            event_queue=args.event_queue,
-                            jobs=args.jobs, ports=args.ports,
-                            drop_policy=args.drop_policy,
-                            algorithm=args.algorithm).to_text())
+                with (profiler.phase(key) if profiler is not None
+                      else _NULL_PHASE):
+                    table = _call(table_fn, args.backend, tracer=tracer,
+                                  metrics=metrics,
+                                  duration=args.duration,
+                                  event_queue=args.event_queue,
+                                  jobs=args.jobs, ports=args.ports,
+                                  drop_policy=args.drop_policy,
+                                  algorithm=args.algorithm,
+                                  heartbeat=heartbeat)
+                print(table.to_text())
                 print()
     finally:
         if tracer is not None:
@@ -289,6 +349,10 @@ def main(argv) -> int:
         if metrics is not None:
             metrics.write_json(args.metrics)
             print(f"metrics -> {args.metrics}", file=sys.stderr)
+        if profiler is not None:
+            profiler.stop()
+            _write_runtime_report(profiler.report(),
+                                  args.profile_runtime, args.trace)
     if args.analyze:
         from repro.conformance.__main__ import main as conf_main
         from repro.obs.__main__ import main as obs_main

@@ -23,6 +23,7 @@ from repro.experiments.hier_common import (NUM_NODES, default_node_rates,
                                            run_hierarchy)
 from repro.experiments.runner import Table, point_seed, run_sweep
 from repro.obs import Tracer
+from repro.obs.runtime import NULL_HEARTBEAT
 from repro.sim.packet import reset_packet_ids
 
 #: Sampled node index (deterministic stand-in for the paper's "random").
@@ -65,7 +66,7 @@ def rate_limit_table(sweep_gbps: Sequence[float] = DEFAULT_SWEEP_GBPS,
                      node_index: int = SAMPLED_NODE,
                      tracer=None, metrics=None,
                      event_queue: str = "reference",
-                     jobs: int = 1) -> Table:
+                     jobs: int = 1, heartbeat=None) -> Table:
     """Fig. 11's sweep: configured vs achieved rate on one node.
 
     ``tracer``/``metrics`` observe every simulation in the sweep; a
@@ -73,7 +74,9 @@ def rate_limit_table(sweep_gbps: Sequence[float] = DEFAULT_SWEEP_GBPS,
     ``event_queue`` selects the simulator's pending-event backend and
     ``jobs`` shards sweep points over processes — both leave every
     result byte-identical.  (``metrics`` aggregation is in-process, so a
-    metrics-observed sweep always runs sequentially.)
+    metrics-observed sweep always runs sequentially.)  ``heartbeat``
+    (:class:`repro.obs.runtime.SweepHeartbeat`) reports sweep liveness
+    on stderr/trace without touching results.
     """
     table = Table(
         title=(f"Fig. 11: rate-limit enforcement on node n{node_index} "
@@ -85,20 +88,25 @@ def rate_limit_table(sweep_gbps: Sequence[float] = DEFAULT_SWEEP_GBPS,
              for index, target in enumerate(sweep_gbps)]
     sharded = jobs > 1 and metrics is None
     if sharded:
-        outcomes = run_sweep(_rate_limit_point, specs, jobs=jobs)
+        outcomes = run_sweep(_rate_limit_point, specs, jobs=jobs,
+                             heartbeat=heartbeat)
         if tracer is not None:
             for spec, (_, lines) in zip(specs, outcomes):
                 tracer.mark(0.0, "fig11.sweep", configured_gbps=spec[1],
                             node=f"n{node_index}")
                 tracer.absorb_jsonl(lines.splitlines())
     else:
+        pulse = heartbeat if heartbeat is not None else NULL_HEARTBEAT
+        pulse.begin(len(specs), jobs=1)
         outcomes = []
         for spec in specs:
             if tracer is not None:
                 tracer.mark(0.0, "fig11.sweep", configured_gbps=spec[1],
                             node=f"n{node_index}")
-            outcomes.append(_rate_limit_point(spec, tracer=tracer,
-                                              metrics=metrics))
+            with pulse.point(spec[0]):
+                outcomes.append(_rate_limit_point(spec, tracer=tracer,
+                                                  metrics=metrics))
+        pulse.finish()
     worst = 0.0
     for spec, (achieved_bps, _) in zip(specs, outcomes):
         target = spec[1]

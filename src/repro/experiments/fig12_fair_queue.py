@@ -24,6 +24,7 @@ from repro.experiments.hier_common import (FLOWS_PER_NODE,
                                            run_hierarchy)
 from repro.experiments.runner import Table, point_seed, run_sweep
 from repro.obs import Tracer
+from repro.obs.runtime import NULL_HEARTBEAT
 from repro.sim.packet import reset_packet_ids
 
 DEFAULT_SWEEP_GBPS = (0.5, 1.0, 2.0, 4.0, 8.0)
@@ -62,7 +63,7 @@ def fair_queue_table(sweep_gbps: Sequence[float] = DEFAULT_SWEEP_GBPS,
                      flow_weights: Optional[List[float]] = None,
                      tracer=None, metrics=None,
                      event_queue: str = "reference",
-                     jobs: int = 1) -> Table:
+                     jobs: int = 1, heartbeat=None) -> Table:
     """Fig. 12's sweep: per-flow shares inside the sampled node.
 
     ``tracer``/``metrics`` observe every simulation in the sweep; a
@@ -85,20 +86,25 @@ def fair_queue_table(sweep_gbps: Sequence[float] = DEFAULT_SWEEP_GBPS,
              for index, target in enumerate(sweep_gbps)]
     sharded = jobs > 1 and metrics is None
     if sharded:
-        outcomes = run_sweep(_fair_queue_point, specs, jobs=jobs)
+        outcomes = run_sweep(_fair_queue_point, specs, jobs=jobs,
+                             heartbeat=heartbeat)
         if tracer is not None:
             for spec, (_, lines) in zip(specs, outcomes):
                 tracer.mark(0.0, "fig12.sweep", node_rate_gbps=spec[1],
                             node=f"n{node_index}")
                 tracer.absorb_jsonl(lines.splitlines())
     else:
+        pulse = heartbeat if heartbeat is not None else NULL_HEARTBEAT
+        pulse.begin(len(specs), jobs=1)
         outcomes = []
         for spec in specs:
             if tracer is not None:
                 tracer.mark(0.0, "fig12.sweep", node_rate_gbps=spec[1],
                             node=f"n{node_index}")
-            outcomes.append(_fair_queue_point(spec, tracer=tracer,
-                                              metrics=metrics))
+            with pulse.point(spec[0]):
+                outcomes.append(_fair_queue_point(spec, tracer=tracer,
+                                                  metrics=metrics))
+        pulse.finish()
     for spec, (flow_rates, _) in zip(specs, outcomes):
         target = spec[1]
         if weighted:

@@ -27,6 +27,7 @@ from typing import Optional, Sequence, Tuple
 
 from repro.experiments.runner import Table, point_seed, run_sweep
 from repro.obs import Tracer
+from repro.obs.runtime import NULL_HEARTBEAT
 from repro.sched.framework import PieoScheduler
 from repro.sched.registry import make_algorithm
 from repro.sim.buffer import BufferManager
@@ -152,7 +153,7 @@ def incast_table(buffer_kib_sweep: Sequence[int] = DEFAULT_BUFFER_KIB,
                  backend: Optional[str] = None,
                  tracer=None, metrics=None,
                  event_queue: str = "reference",
-                 jobs: int = 1) -> Table:
+                 jobs: int = 1, heartbeat=None) -> Table:
     """Incast sweep: drops vs shared-buffer size on a 4-port dataplane.
 
     ``tracer``/``metrics`` observe every simulation in the sweep (drop
@@ -180,20 +181,25 @@ def incast_table(buffer_kib_sweep: Sequence[int] = DEFAULT_BUFFER_KIB,
              for index, buffer_kib in enumerate(buffer_kib_sweep)]
     sharded = jobs > 1 and metrics is None
     if sharded:
-        outcomes = run_sweep(_incast_point, specs, jobs=jobs)
+        outcomes = run_sweep(_incast_point, specs, jobs=jobs,
+                             heartbeat=heartbeat)
         if tracer is not None:
             for spec, (_, lines) in zip(specs, outcomes):
                 tracer.mark(0.0, "incast.sweep", buffer_kib=spec[1],
                             drop_policy=drop_policy)
                 tracer.absorb_jsonl(lines.splitlines())
     else:
+        pulse = heartbeat if heartbeat is not None else NULL_HEARTBEAT
+        pulse.begin(len(specs), jobs=1)
         outcomes = []
         for spec in specs:
             if tracer is not None:
                 tracer.mark(0.0, "incast.sweep", buffer_kib=spec[1],
                             drop_policy=drop_policy)
-            outcomes.append(_incast_point(spec, tracer=tracer,
-                                          metrics=metrics))
+            with pulse.point(spec[0]):
+                outcomes.append(_incast_point(spec, tracer=tracer,
+                                              metrics=metrics))
+        pulse.finish()
     for spec, (stats, _) in zip(specs, outcomes):
         drop_pct = (100.0 * stats["drops"] / stats["arrivals"]
                     if stats["arrivals"] else 0.0)

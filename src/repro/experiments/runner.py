@@ -23,12 +23,21 @@ paper-vs-measured directly from benchmark output.
 Under this contract ``jobs=N`` output is byte-identical to ``jobs=1``
 (the fig11/fig12 integration tests assert it, including merged JSONL
 trace streams).
+
+Passing a :class:`repro.obs.runtime.SweepHeartbeat` as ``heartbeat``
+adds liveness reporting — points completed, per-point wall time, ETA,
+worker health — on stderr and (when the heartbeat carries a tracer) as
+``mark`` trace events.  The heartbeat observes only; worker results
+stay byte-identical with or without one.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Sequence
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.obs.runtime import NULL_HEARTBEAT, SweepHeartbeat
 
 #: Packet-id stride between sweep points: point ``i`` draws its packet
 #: ids from ``[i * stride, (i+1) * stride)``.  Far above any single
@@ -44,20 +53,52 @@ def point_seed(index: int, stride: int = POINT_ID_STRIDE) -> int:
     return index * stride
 
 
+def _timed_call(payload):
+    """Pool shim wrapping a worker call with its wall time (module
+    level so it pickles; used only when a heartbeat is attached)."""
+    worker, spec = payload
+    start = time.perf_counter()
+    return worker(spec), time.perf_counter() - start
+
+
 def run_sweep(worker: Callable[[Any], Any], specs: Sequence[Any],
-              jobs: int = 1) -> List[Any]:
+              jobs: int = 1,
+              heartbeat: Optional[SweepHeartbeat] = None) -> List[Any]:
     """Run ``worker(spec)`` for every spec, optionally in a process pool.
 
     ``jobs <= 1`` runs sequentially in-process (no pool, no pickling);
     ``jobs > 1`` fans the points over ``min(jobs, len(specs))``
     processes.  Either way the returned list is in spec order.
+    ``heartbeat`` (a :class:`repro.obs.runtime.SweepHeartbeat`) reports
+    per-point completion, wall time, and ETA as the sweep progresses.
     """
     if jobs <= 1 or len(specs) <= 1:
-        return [worker(spec) for spec in specs]
+        pulse = heartbeat if heartbeat is not None else NULL_HEARTBEAT
+        pulse.begin(len(specs), jobs=1)
+        outcomes = []
+        for index, spec in enumerate(specs):
+            with pulse.point(index):
+                outcomes.append(worker(spec))
+        pulse.finish()
+        return outcomes
     import multiprocessing
 
     with multiprocessing.Pool(min(jobs, len(specs))) as pool:
-        return pool.map(worker, specs, chunksize=1)
+        if heartbeat is None:
+            return pool.map(worker, specs, chunksize=1)
+        heartbeat.begin(len(specs), jobs=min(jobs, len(specs)))
+        payloads = [(worker, spec) for spec in specs]
+        outcomes = []
+        try:
+            for result, wall_s in pool.imap(_timed_call, payloads,
+                                            chunksize=1):
+                heartbeat.point_done(len(outcomes), wall_s)
+                outcomes.append(result)
+        except Exception as error:
+            heartbeat.point_failed(len(outcomes), error)
+            raise
+        heartbeat.finish()
+        return outcomes
 
 
 @dataclass

@@ -2,7 +2,9 @@
 
 Zero-dependency event tracing (:mod:`repro.obs.trace`), aggregate
 metrics (:mod:`repro.obs.metrics`), span scopes and the null default
-path (:mod:`repro.obs.scope`), the ``TracedList`` backend decorator
+path (:mod:`repro.obs.scope`), wall-clock runtime telemetry — phase
+timers, the component-attributing sampling profiler, and the sweep
+heartbeat (:mod:`repro.obs.runtime`), the ``TracedList`` backend decorator
 (:mod:`repro.obs.traced_list`), offline trace analysis with per-packet
 latency attribution (:mod:`repro.obs.analyze`), and Prometheus/Perfetto
 exporters (:mod:`repro.obs.export`); ``python -m repro.obs`` is the
@@ -34,6 +36,12 @@ from repro.obs.metrics import (BATCH_BUCKETS, Counter, DEPTH_BUCKETS,
                                Gauge, Histogram, LATENCY_BUCKETS_US,
                                LogHistogram, MetricsRegistry,
                                ScopedMetrics, scoped)
+from repro.obs.runtime import (NULL_HEARTBEAT, NULL_RUNTIME_PROFILER,
+                               NullRuntimeProfiler, NullSweepHeartbeat,
+                               PhaseTimer, RuntimeProfiler,
+                               RuntimeReport, SamplingProfiler,
+                               SweepHeartbeat, attribute_frame,
+                               attribute_stack, component_of)
 from repro.obs.scope import (NULL_METRICS, NULL_SPAN, NULL_TRACER,
                              NullMetrics, NullSpan, NullTracer, Span)
 from repro.obs.trace import (EVENT_KINDS, LabelledTracer, TraceEvent,
@@ -52,21 +60,33 @@ __all__ = [
     "LabelledTracer",
     "LogHistogram",
     "MetricsRegistry",
+    "NULL_HEARTBEAT",
     "NULL_METRICS",
+    "NULL_RUNTIME_PROFILER",
     "NULL_SPAN",
     "NULL_TRACER",
     "NullMetrics",
+    "NullRuntimeProfiler",
     "NullSpan",
+    "NullSweepHeartbeat",
     "NullTracer",
     "PacketTimeline",
+    "PhaseTimer",
     "Run",
+    "RuntimeProfiler",
+    "RuntimeReport",
+    "SamplingProfiler",
     "ScopedMetrics",
     "Span",
+    "SweepHeartbeat",
     "TraceAnalysis",
     "TraceEvent",
     "TracedList",
     "Tracer",
     "analyze_path",
+    "attribute_frame",
+    "attribute_stack",
+    "component_of",
     "flow_report_json",
     "labelled",
     "perfetto_trace",

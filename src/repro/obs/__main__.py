@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro.obs summarize trace.jsonl
+    python -m repro.obs summarize trace.jsonl --runtime profile.json
     python -m repro.obs flows trace.jsonl --starvation-ms 1.0
     python -m repro.obs flows trace.jsonl --costs opcounters.json
     python -m repro.obs timeline trace.jsonl --flow n6.f2 --limit 20
@@ -17,7 +18,10 @@ repro.experiments`` (or any :meth:`Tracer.write_jsonl` export).  Sweep
 experiments delimit their runs with ``mark`` events; every command
 analyzes each run separately (``--run N`` selects one).  ``audit``
 exits non-zero when the trace is truncated, corrupted, or violates
-packet conservation/ordering.
+packet conservation/ordering.  ``summarize`` additionally prints a
+wall-clock component-attribution block when a ``--profile-runtime``
+report accompanies the trace (``--runtime FILE``, or the
+``<trace>.runtime.json`` convention auto-detected).
 """
 
 from __future__ import annotations
@@ -95,6 +99,31 @@ def _flow_table(run: Run, analysis: TraceAnalysis,
     return table
 
 
+def _runtime_report_for(args):
+    """Load the runtime profile accompanying a trace, if any.
+
+    ``--runtime FILE`` names it explicitly; otherwise the
+    ``--profile-runtime`` convention path ``<trace>.runtime.json`` is
+    auto-detected.  Returns ``(report, error_message)``; a present but
+    malformed profile is an error (never silently ignored).
+    """
+    import os
+
+    from repro.obs.runtime import RuntimeReport
+    path = getattr(args, "runtime", None)
+    if path is None:
+        candidate = f"{args.trace}.runtime.json"
+        if not os.path.exists(candidate):
+            return None, None
+        path = candidate
+    try:
+        with open(path) as handle:
+            record = json.load(handle)
+        return RuntimeReport.from_dict(record), None
+    except (OSError, ValueError) as error:
+        return None, f"runtime profile {path}: {error}"
+
+
 def _cmd_summarize(args) -> int:
     exit_code = 0
     for run, analysis in _load_runs(args):
@@ -130,6 +159,13 @@ def _cmd_summarize(args) -> int:
             print(issue, file=sys.stderr)
         if errors:
             exit_code = 1
+        print()
+    report, problem = _runtime_report_for(args)
+    if problem is not None:
+        print(problem, file=sys.stderr)
+        exit_code = exit_code or 1
+    elif report is not None:
+        print(report.to_text())
         print()
     return exit_code
 
@@ -277,6 +313,11 @@ def build_parser() -> argparse.ArgumentParser:
         "summarize", help="per-run event counts and per-flow "
         "p50/p99 latency attribution")
     add_common(summarize)
+    summarize.add_argument("--runtime", default=None, metavar="FILE",
+                           help="runtime-profile JSON (from "
+                           "--profile-runtime) to print a wall-clock "
+                           "attribution block; default: auto-detect "
+                           "<trace>.runtime.json")
     summarize.set_defaults(handler=_cmd_summarize)
 
     flows = sub.add_parser(

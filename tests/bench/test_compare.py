@@ -1,0 +1,127 @@
+"""Compare gate: exit-code contract (0 pass / 1 regression / 2 error)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.compare import (EXIT_ERROR, EXIT_OK, EXIT_REGRESSION,
+                                 MetricComparison, compare_dirs,
+                                 compare_records)
+from repro.bench.results import (BenchFormatError, bench_path,
+                                 make_metric, make_provenance,
+                                 make_result, write_bench)
+
+
+def record_with(normalized: float, scenario: str = "hier",
+                extra_gated=None):
+    metrics = {
+        "normalized": make_metric("pps per Mops", [normalized],
+                                  gated=True),
+        "raw_rate": make_metric("pps", [normalized * 1000.0]),
+    }
+    for name, value in (extra_gated or {}).items():
+        metrics[name] = make_metric("pps per Mops", [value], gated=True)
+    return make_result(scenario, metrics, counts={}, attribution=None,
+                       provenance=make_provenance("2026-08-08",
+                                                  commit="abc"))
+
+
+def write_pair(tmp_path, baseline: float, current: float,
+               scenario: str = "hier"):
+    base_dir = tmp_path / "base"
+    cur_dir = tmp_path / "cur"
+    base_dir.mkdir(exist_ok=True)
+    cur_dir.mkdir(exist_ok=True)
+    write_bench(bench_path(base_dir, scenario),
+                record_with(baseline, scenario))
+    write_bench(bench_path(cur_dir, scenario),
+                record_with(current, scenario))
+    return base_dir, cur_dir
+
+
+class TestCompareRecords:
+    def test_only_gated_metrics_compared(self):
+        rows = compare_records(record_with(100.0), record_with(100.0))
+        assert [row.metric for row in rows] == ["normalized"]
+
+    def test_within_tolerance_passes(self):
+        rows = compare_records(record_with(100.0), record_with(75.0),
+                               tolerance=0.30)
+        assert not rows[0].regressed
+        assert "ok" in rows[0].describe()
+
+    def test_beyond_tolerance_regresses(self):
+        rows = compare_records(record_with(100.0), record_with(65.0),
+                               tolerance=0.30)
+        assert rows[0].regressed
+        assert "REGRESSED" in rows[0].describe()
+
+    def test_improvement_never_regresses(self):
+        rows = compare_records(record_with(100.0), record_with(500.0))
+        assert not rows[0].regressed
+
+    def test_gated_metric_missing_from_current_regresses(self):
+        baseline = record_with(100.0, extra_gated={"incast": 50.0})
+        rows = compare_records(baseline, record_with(100.0))
+        missing = {row.metric: row for row in rows}["incast"]
+        assert missing.regressed
+        assert "MISSING" in missing.describe()
+
+    def test_scenario_mismatch_raises(self):
+        with pytest.raises(BenchFormatError, match="mismatch"):
+            compare_records(record_with(1.0, scenario="hier"),
+                            record_with(1.0, scenario="incast"))
+
+    def test_ratio(self):
+        row = MetricComparison("hier", "normalized", baseline=100.0,
+                               current=80.0, tolerance=0.3)
+        assert row.ratio == pytest.approx(0.8)
+        assert MetricComparison("hier", "n", 0.0, 1.0, 0.3).ratio is None
+
+
+class TestCompareDirs:
+    def test_pass_exit_zero(self, tmp_path):
+        base_dir, cur_dir = write_pair(tmp_path, 100.0, 95.0)
+        comparisons, errors, code = compare_dirs(base_dir, cur_dir,
+                                                 ["hier"])
+        assert code == EXIT_OK
+        assert not errors
+        assert len(comparisons) == 1
+
+    def test_regression_exit_one(self, tmp_path):
+        base_dir, cur_dir = write_pair(tmp_path, 100.0, 10.0)
+        _, errors, code = compare_dirs(base_dir, cur_dir, ["hier"])
+        assert code == EXIT_REGRESSION
+        assert not errors
+
+    def test_missing_baseline_exit_two(self, tmp_path):
+        _, cur_dir = write_pair(tmp_path, 100.0, 100.0)
+        _, errors, code = compare_dirs(tmp_path / "nowhere", cur_dir,
+                                       ["hier"])
+        assert code == EXIT_ERROR
+        assert "no such BENCH" in errors[0]
+
+    def test_malformed_current_exit_two(self, tmp_path):
+        base_dir, cur_dir = write_pair(tmp_path, 100.0, 100.0)
+        bench_path(cur_dir, "hier").write_text("{broken")
+        _, errors, code = compare_dirs(base_dir, cur_dir, ["hier"])
+        assert code == EXIT_ERROR
+        assert "invalid JSON" in errors[0]
+
+    def test_error_beats_regression(self, tmp_path):
+        base_dir, cur_dir = write_pair(tmp_path, 100.0, 10.0)
+        write_bench(bench_path(base_dir, "incast"),
+                    record_with(50.0, "incast"))
+        _, errors, code = compare_dirs(base_dir, cur_dir,
+                                       ["hier", "incast"])
+        assert code == EXIT_ERROR  # incast missing from current
+        assert errors
+
+    def test_custom_tolerance(self, tmp_path):
+        base_dir, cur_dir = write_pair(tmp_path, 100.0, 89.0)
+        _, _, strict = compare_dirs(base_dir, cur_dir, ["hier"],
+                                    tolerance=0.10)
+        _, _, loose = compare_dirs(base_dir, cur_dir, ["hier"],
+                                   tolerance=0.20)
+        assert strict == EXIT_REGRESSION
+        assert loose == EXIT_OK

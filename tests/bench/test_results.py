@@ -1,0 +1,174 @@
+"""BENCH_*.json schema: build, validate, round-trip, fail loudly."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.results import (BenchFormatError, SCHEMA_VERSION,
+                                 bench_filename, bench_path,
+                                 gated_metrics, git_commit, load_bench,
+                                 make_metric, make_provenance,
+                                 make_result, provenance_header,
+                                 read_table_text, strip_provenance,
+                                 validate_result, write_bench,
+                                 write_table_text)
+
+
+def build_record(scenario: str = "hier"):
+    return make_result(
+        scenario,
+        metrics={
+            "normalized": make_metric("pps per Mops", [10.0, 12.0, 11.0],
+                                      gated=True),
+            "raw_rate": make_metric("pps", [30000.0]),
+        },
+        counts={"packets": 4242},
+        attribution={"interval_s": 0.002, "samples": 100,
+                     "components": {"sim.events": 0.5, "other": 0.5},
+                     "attributed_fraction": 0.5, "overhead_s": 0.001},
+        provenance=make_provenance("2026-08-08", commit="abc1234",
+                                   rounds=3))
+
+
+class TestMakeMetric:
+    def test_median_and_iqr(self):
+        metric = make_metric("pps", [1.0, 2.0, 3.0, 4.0], gated=True)
+        assert metric["median"] == pytest.approx(2.5)
+        assert metric["iqr"] == pytest.approx(1.5)
+        assert metric["gated"] is True
+        assert metric["samples"] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_single_sample_iqr_zero(self):
+        metric = make_metric("pps", [5.0])
+        assert metric["median"] == 5.0
+        assert metric["iqr"] == 0.0
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError, match="at least one sample"):
+            make_metric("pps", [])
+
+
+class TestSchemaRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        record = build_record()
+        path = write_bench(bench_path(tmp_path, "hier"), record)
+        assert path.name == bench_filename("hier") == "BENCH_hier.json"
+        assert load_bench(path) == record
+
+    def test_schema_version_stamped(self):
+        assert build_record()["schema_version"] == SCHEMA_VERSION
+
+    def test_gated_metrics_filter(self):
+        assert list(gated_metrics(build_record())) == ["normalized"]
+
+    def test_null_attribution_allowed(self, tmp_path):
+        record = make_result(
+            "hier", {"normalized": make_metric("pps", [1.0],
+                                               gated=True)},
+            counts={}, attribution=None,
+            provenance=make_provenance("2026-08-08", commit="abc"))
+        path = write_bench(bench_path(tmp_path, "hier"), record)
+        assert load_bench(path)["attribution"] is None
+
+
+class TestValidation:
+    @pytest.mark.parametrize("mutate, message", [
+        (lambda r: r.pop("metrics"), "missing key 'metrics'"),
+        (lambda r: r.update(schema_version=99), "schema_version"),
+        (lambda r: r.update(scenario=""), "scenario"),
+        (lambda r: r.update(metrics={}), "non-empty"),
+        (lambda r: r["metrics"].update(bad="nope"), "not an object"),
+        (lambda r: r["metrics"]["normalized"].pop("unit"),
+         "missing key 'unit'"),
+        (lambda r: r["metrics"]["normalized"].update(samples=[]),
+         "non-empty list"),
+        (lambda r: r["metrics"]["normalized"].update(median="fast"),
+         "must be a number"),
+        (lambda r: r.update(counts=[1]), "counts"),
+        (lambda r: r.update(attribution="yes"),
+         "attribution must be an object"),
+        (lambda r: r.update(attribution={"samples": 3}),
+         "components"),
+        (lambda r: r.update(provenance=None), "provenance"),
+    ])
+    def test_malformed_records_fail_loudly(self, mutate, message):
+        record = build_record()
+        mutate(record)
+        with pytest.raises(BenchFormatError, match=message):
+            validate_result(record)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(BenchFormatError, match="not a JSON object"):
+            validate_result(["list"])
+
+    def test_error_names_the_source(self):
+        with pytest.raises(BenchFormatError, match="trajectory.json"):
+            validate_result({}, source="trajectory.json")
+
+
+class TestLoadErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(BenchFormatError, match="no such BENCH"):
+            load_bench(tmp_path / "BENCH_hier.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "BENCH_hier.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchFormatError, match="invalid JSON"):
+            load_bench(path)
+
+    def test_valid_json_bad_schema(self, tmp_path):
+        path = tmp_path / "BENCH_hier.json"
+        path.write_text(json.dumps({"schema_version": 1}))
+        with pytest.raises(BenchFormatError, match="missing key"):
+            load_bench(path)
+
+    def test_write_refuses_invalid(self, tmp_path):
+        with pytest.raises(BenchFormatError):
+            write_bench(tmp_path / "BENCH_x.json", {"nope": 1})
+
+
+class TestProvenance:
+    def test_git_commit_shape(self):
+        commit = git_commit()
+        # In this repo it's a short hash; outside any repo, "unknown".
+        assert commit == "unknown" or len(commit) >= 7
+
+    def test_git_commit_outside_repo(self, tmp_path):
+        assert git_commit(cwd=tmp_path) == "unknown"
+
+    def test_provenance_extra_fields(self):
+        record = make_provenance("2026-08-08", commit="abc",
+                                 rounds=2, quick=True, tolerance=0.3)
+        assert record["quick"] is True
+        assert record["tolerance"] == 0.3
+
+    def test_header_lines_are_comments(self):
+        header = provenance_header("2026-08-08", commit="abc1234",
+                                   calibration_mops=1.234)
+        for line in header.splitlines():
+            assert line.startswith("#")
+        assert "abc1234" in header
+        assert "1.234" in header
+        assert f"schema v{SCHEMA_VERSION}" in header
+
+
+class TestTableWriter:
+    def test_round_trip_strips_header(self, tmp_path):
+        body = "col_a  col_b\n1      2\n"
+        path = write_table_text(tmp_path / "out" / "table.txt", body,
+                                run_date="2026-08-08", commit="abc",
+                                calibration_mops=1.0)
+        raw = path.read_text()
+        assert raw.startswith("# repro bench artifact")
+        assert "# git-commit: abc" in raw
+        assert read_table_text(path) == body
+
+    def test_strip_provenance_drops_leading_blanks(self):
+        text = "# header\n\nbody line\n"
+        assert strip_provenance(text) == "body line\n"
+
+    def test_strip_provenance_empty(self):
+        assert strip_provenance("# only header\n") == ""

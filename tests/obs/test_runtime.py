@@ -1,0 +1,375 @@
+"""Runtime telemetry: attribution, phase timers, reports, heartbeat.
+
+Everything here is deterministic — synthetic frame stacks stand in for
+sampled ones, and phase timers / heartbeats run on injected fake
+clocks, so no assertion depends on host timing.
+"""
+
+from __future__ import annotations
+
+import io
+import sys
+
+import pytest
+
+from repro.obs import Tracer
+from repro.obs.runtime import (NULL_HEARTBEAT, NULL_RUNTIME_PROFILER,
+                               OTHER, PhaseTimer, RuntimeProfiler,
+                               RuntimeReport, SamplingProfiler,
+                               SweepHeartbeat, attribute_frame,
+                               attribute_stack, component_of)
+from repro.obs.scope import NULL_SPAN
+
+
+class FakeClock:
+    """Deterministic clock: advances only when told."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, delta: float) -> None:
+        self.now += delta
+
+
+# ----------------------------------------------------------------------
+# Component attribution
+# ----------------------------------------------------------------------
+class TestComponentOf:
+    def test_two_segment_truncation(self):
+        assert component_of("repro.sim.events") == "sim.events"
+        assert component_of(
+            "repro.core.pieo.structures") == "core.pieo"
+
+    def test_single_segment(self):
+        assert component_of("repro.errors") == "errors"
+
+    def test_package_root(self):
+        assert component_of("repro") == "repro"
+
+    def test_non_repro_modules(self):
+        assert component_of("heapq") is None
+        assert component_of("reproach.fake") is None
+        assert component_of(None) is None
+        assert component_of("") is None
+
+    def test_profiler_excludes_itself(self):
+        assert component_of("repro.obs.runtime") is None
+
+
+class TestAttributeStack:
+    def test_innermost_repro_frame_wins(self):
+        assert attribute_stack(
+            ["repro.core.backends",
+             "repro.experiments.runner"]) == "core.backends"
+
+    def test_stdlib_charged_to_repro_caller(self):
+        assert attribute_stack(
+            ["heapq", "repro.sim.events",
+             "repro.experiments.runner"]) == "sim.events"
+
+    def test_no_repro_frame_is_other(self):
+        assert attribute_stack(["heapq", "_pytest.python"]) == OTHER
+        assert attribute_stack([]) == OTHER
+
+    def test_profiler_own_frames_skipped(self):
+        assert attribute_stack(
+            ["repro.obs.runtime", "repro.sched.wf2q"]) == "sched.wf2q"
+
+
+def make_callable(module: str, inner=None):
+    """A function whose frame claims to live in ``module``.
+
+    When ``inner`` is given it calls through, so chains build real
+    nested frames with synthetic module names; the innermost returns
+    its own live frame.
+    """
+    namespace = {"__name__": module, "inner": inner, "sys": sys}
+    exec("def fn():\n"
+         "    return inner() if inner is not None "
+         "else sys._getframe()\n", namespace)
+    return namespace["fn"]
+
+
+class TestAttributeFrame:
+    def test_walks_to_nearest_repro_caller(self):
+        chain = make_callable(
+            "repro.sim.events", make_callable("heapq"))
+        assert attribute_frame(chain()) == "sim.events"
+
+    def test_innermost_repro_component_wins(self):
+        chain = make_callable(
+            "repro.experiments.runner",
+            make_callable("repro.core.backends"))
+        assert attribute_frame(chain()) == "core.backends"
+
+    def test_foreign_stack_is_other(self):
+        # The test module itself is not a repro.* module, so a chain of
+        # stdlib-named frames attributes to OTHER.
+        chain = make_callable("json", make_callable("heapq"))
+        assert attribute_frame(chain()) == OTHER
+
+
+# ----------------------------------------------------------------------
+# Phase timers
+# ----------------------------------------------------------------------
+class TestPhaseTimer:
+    def test_exclusive_nested_accounting(self):
+        clock = FakeClock()
+        timer = PhaseTimer(clock=clock)
+        with timer.phase("outer"):
+            clock.advance(1.0)
+            with timer.phase("inner"):
+                clock.advance(0.5)
+            clock.advance(2.0)
+        assert timer.totals == {"outer": 3.0, "inner": 0.5}
+        assert timer.counts == {"outer": 1, "inner": 1}
+
+    def test_repeated_phases_accumulate(self):
+        clock = FakeClock()
+        timer = PhaseTimer(clock=clock)
+        for _ in range(3):
+            with timer.phase("run"):
+                clock.advance(0.25)
+        assert timer.totals["run"] == pytest.approx(0.75)
+        assert timer.counts["run"] == 3
+
+    def test_nesting_violation_raises(self):
+        timer = PhaseTimer(clock=FakeClock())
+        timer._enter("a")
+        with pytest.raises(RuntimeError, match="nesting violated"):
+            timer._exit("b")
+
+    def test_snapshot_shape(self):
+        clock = FakeClock()
+        timer = PhaseTimer(clock=clock)
+        with timer.phase("only"):
+            clock.advance(1.5)
+        assert timer.snapshot() == {
+            "only": {"wall_s": 1.5, "count": 1}}
+
+
+# ----------------------------------------------------------------------
+# Runtime reports
+# ----------------------------------------------------------------------
+def sample_report() -> RuntimeReport:
+    return RuntimeReport(
+        wall_s=2.0, interval_s=0.002,
+        samples={"sim.events": 6, "core.backends": 3, OTHER: 1},
+        phases={"fig12": {"wall_s": 1.9, "count": 1}},
+        overhead_s=0.01)
+
+
+class TestRuntimeReport:
+    def test_fractions_and_attribution(self):
+        report = sample_report()
+        assert report.total_samples == 10
+        assert report.fractions()["sim.events"] == pytest.approx(0.6)
+        assert report.attributed_fraction() == pytest.approx(0.9)
+
+    def test_empty_report(self):
+        report = RuntimeReport()
+        assert report.total_samples == 0
+        assert report.fractions() == {}
+        assert report.attributed_fraction() == 0.0
+
+    def test_round_trip(self):
+        report = sample_report()
+        restored = RuntimeReport.from_dict(report.to_dict())
+        assert restored == report
+
+    def test_to_dict_is_tagged(self):
+        record = sample_report().to_dict()
+        assert record["schema_version"] == 1
+        assert record["kind"] == "runtime_profile"
+        assert record["attributed_fraction"] == pytest.approx(0.9)
+
+    @pytest.mark.parametrize("record, message", [
+        ("not a dict", "not a JSON object"),
+        ({"kind": "runtime_profile"}, "unsupported"),
+        ({"schema_version": 99, "kind": "runtime_profile"},
+         "unsupported"),
+        ({"schema_version": 1, "kind": "trace"}, "not a runtime"),
+        ({"schema_version": 1, "kind": "runtime_profile",
+          "samples": ["list"]}, "must be objects"),
+        ({"schema_version": 1, "kind": "runtime_profile",
+          "samples": {"sim.events": -2}}, "non-negative"),
+        ({"schema_version": 1, "kind": "runtime_profile",
+          "samples": {"sim.events": 1.5}}, "non-negative"),
+    ])
+    def test_malformed_raises(self, record, message):
+        with pytest.raises(ValueError, match=message):
+            RuntimeReport.from_dict(record)
+
+    def test_merge_accumulates(self):
+        combined = sample_report().merge(RuntimeReport(
+            wall_s=1.0, interval_s=0.002,
+            samples={"sim.events": 4, "sched.wf2q": 2},
+            phases={"fig12": {"wall_s": 0.9, "count": 1},
+                    "fig11": {"wall_s": 0.1, "count": 2}},
+            overhead_s=0.005))
+        assert combined.wall_s == pytest.approx(3.0)
+        assert combined.samples == {
+            "sim.events": 10, "core.backends": 3, OTHER: 1,
+            "sched.wf2q": 2}
+        assert combined.phases["fig12"] == {"wall_s": 2.8, "count": 2}
+        assert combined.phases["fig11"] == {"wall_s": 0.1, "count": 2}
+        assert combined.overhead_s == pytest.approx(0.015)
+
+    def test_to_text_mentions_components_and_phases(self):
+        text = sample_report().to_text()
+        assert "sim.events" in text
+        assert "90.0% attributed" in text
+        assert "fig12" in text
+
+
+# ----------------------------------------------------------------------
+# Profiler facades
+# ----------------------------------------------------------------------
+class TestRuntimeProfiler:
+    def test_phase_only_profiler_is_deterministic(self):
+        clock = FakeClock()
+        profiler = RuntimeProfiler(sample=False, clock=clock)
+        with profiler:
+            with profiler.phase("work"):
+                clock.advance(1.0)
+            clock.advance(0.5)
+        report = profiler.report()
+        assert report.wall_s == pytest.approx(1.5)
+        assert report.phases == {"work": {"wall_s": 1.0, "count": 1}}
+        assert report.samples == {}
+
+    def test_double_start_raises(self):
+        profiler = RuntimeProfiler(sample=False, clock=FakeClock())
+        profiler.start()
+        with pytest.raises(RuntimeError, match="already started"):
+            profiler.start()
+        profiler.stop()
+
+    def test_sampler_lifecycle(self):
+        profiler = RuntimeProfiler(interval_s=0.001)
+        with profiler:
+            assert profiler.sampler.running
+        assert not profiler.sampler.running
+        # No timing assertion: only that the report is well-formed.
+        report = profiler.report()
+        assert report.total_samples >= 0
+        assert report.interval_s == 0.001
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            SamplingProfiler(interval_s=0.0)
+
+
+class TestNullRuntimeProfiler:
+    def test_phase_is_shared_null_span(self):
+        assert NULL_RUNTIME_PROFILER.phase("anything") is NULL_SPAN
+
+    def test_lifecycle_noops(self):
+        with NULL_RUNTIME_PROFILER as profiler:
+            assert profiler is NULL_RUNTIME_PROFILER
+        assert NULL_RUNTIME_PROFILER.start() is NULL_RUNTIME_PROFILER
+        assert NULL_RUNTIME_PROFILER.stop() is NULL_RUNTIME_PROFILER
+
+    def test_report_empty(self):
+        assert NULL_RUNTIME_PROFILER.report() == RuntimeReport()
+
+    def test_enabled_flags(self):
+        assert RuntimeProfiler.enabled
+        assert not NULL_RUNTIME_PROFILER.enabled
+
+
+# ----------------------------------------------------------------------
+# Sweep heartbeat
+# ----------------------------------------------------------------------
+def heartbeat_marks(tracer):
+    return [event.fields for event in tracer.events
+            if event.fields.get("label") == "sweep.heartbeat"]
+
+
+class TestSweepHeartbeat:
+    def test_sequential_points_report_progress(self):
+        clock, stream = FakeClock(), io.StringIO()
+        tracer = Tracer()
+        pulse = SweepHeartbeat(stream=stream, tracer=tracer,
+                               clock=clock)
+        pulse.begin(2, jobs=1)
+        with pulse.point(0):
+            clock.advance(2.0)
+        with pulse.point(1):
+            clock.advance(4.0)
+        pulse.finish()
+        lines = stream.getvalue().splitlines()
+        assert lines[0] == "[sweep] starting 2 point(s), jobs=1"
+        assert "1/2 done | point 0: 2.000s" in lines[1]
+        assert "eta 2.00s" in lines[1]
+        assert "2/2 done | point 1: 4.000s" in lines[2]
+        assert "eta" not in lines[2]
+        assert "2/2 points in 6.00s" in lines[3]
+        assert "all workers healthy" in lines[3]
+        marks = heartbeat_marks(tracer)
+        phases = [mark["phase"] for mark in marks]
+        assert phases == ["begin", "point", "point", "finish"]
+        assert marks[1]["wall_s"] == pytest.approx(2.0)
+        assert marks[2]["done"] == 2
+
+    def test_eta_accounts_for_jobs(self):
+        pulse = SweepHeartbeat(stream=io.StringIO(), clock=FakeClock())
+        pulse.begin(9, jobs=4)
+        pulse.point_done(0, 2.0)
+        # 8 points remain over 4 workers at 2 s each.
+        assert pulse.eta_s() == pytest.approx(4.0)
+
+    def test_failure_reported_and_reraised(self):
+        clock, stream = FakeClock(), io.StringIO()
+        tracer = Tracer()
+        pulse = SweepHeartbeat(stream=stream, tracer=tracer,
+                               clock=clock)
+        pulse.begin(1)
+        with pytest.raises(ValueError, match="boom"):
+            with pulse.point(0):
+                raise ValueError("boom")
+        pulse.finish()
+        output = stream.getvalue()
+        assert "point 0 FAILED: ValueError('boom')" in output
+        assert "1 failure(s)" in output
+        failed = [mark for mark in heartbeat_marks(tracer)
+                  if mark["phase"] == "failed"]
+        assert failed[0]["error"] == "ValueError('boom')"
+
+    def test_min_interval_throttles_lines_not_marks(self):
+        clock, stream = FakeClock(), io.StringIO()
+        tracer = Tracer()
+        pulse = SweepHeartbeat(stream=stream, tracer=tracer,
+                               clock=clock, min_interval_s=10.0)
+        pulse.begin(3)
+        for index in range(3):
+            with pulse.point(index):
+                clock.advance(1.0)
+        progress = [line for line in stream.getvalue().splitlines()
+                    if "done | point" in line]
+        # First and final points always print; the middle is throttled.
+        assert len(progress) == 2
+        marks = [mark for mark in heartbeat_marks(tracer)
+                 if mark["phase"] == "point"]
+        assert len(marks) == 3
+
+    def test_works_without_tracer(self):
+        pulse = SweepHeartbeat(stream=io.StringIO(), clock=FakeClock())
+        pulse.begin(1)
+        with pulse.point(0):
+            pass
+        pulse.finish()  # no tracer attached: lines only, no error
+
+
+class TestNullSweepHeartbeat:
+    def test_all_noops(self):
+        NULL_HEARTBEAT.begin(5, jobs=2)
+        with NULL_HEARTBEAT.point(0):
+            pass
+        NULL_HEARTBEAT.point_done(0, 1.0)
+        NULL_HEARTBEAT.point_failed(0, ValueError())
+        NULL_HEARTBEAT.finish()
+        assert NULL_HEARTBEAT.point(0) is NULL_SPAN
