@@ -10,12 +10,15 @@ ratio cancels host speed to first order; this is the same protocol
 ``benchmarks/perf_smoke.py`` gates CI with (it imports the calibration
 loop from here).
 
-Four scenarios are registered:
+Five scenarios are registered:
 
 * ``hier`` — the single-link fig12 fast configuration (hierarchical
   Token Bucket + WF2Q+ over 100 flows);
 * ``incast`` — a 4-port shared-buffer dataplane under 2x
   oversubscription (classifier/admission/multi-engine path);
+* ``fabric`` — a leaf-spine :mod:`repro.net` fabric carrying
+  open-loop Pareto flows at 0.5 load (routing/forwarding/multi-switch
+  path);
 * ``backend`` — mixed primitive ops through the ``fast`` ordered-list
   engine at N=4096;
 * ``analyze`` — the offline analyzer (`TraceAnalysis` + flows + audit)
@@ -60,6 +63,9 @@ BACKEND_OPERATIONS = 20_000
 BACKEND_OPERATIONS_QUICK = 5_000
 
 ANALYZE_DURATION = 0.002
+
+FABRIC_DURATION = 0.002
+FABRIC_LOAD = 0.5
 
 
 def calibration_score(iterations: int = CALIBRATION_ITERATIONS) -> float:
@@ -156,6 +162,27 @@ def _run_analyze(quick: bool) -> Tuple[float, Dict[str, int]]:
     return len(records) / elapsed, {"events": len(records)}
 
 
+def _run_fabric(quick: bool) -> Tuple[float, Dict[str, int]]:
+    from repro.experiments.fct import build_fct_fabric
+    from repro.sim.packet import reset_packet_ids
+    reset_packet_ids(0)
+    start = time.perf_counter()
+    fabric = build_fct_fabric(FABRIC_LOAD, workload="pareto",
+                              event_queue="calendar",
+                              duration=FABRIC_DURATION)
+    fabric.sim.run()
+    elapsed = time.perf_counter() - start
+    conservation = fabric.conservation()
+    stats = fabric.collector.slowdown_stats()
+    # Per-hop arrivals: the multi-switch analogue of packets/sec (one
+    # unit of dataplane work per packet per hop).
+    return conservation["arrivals"] / elapsed, {
+        "hop_arrivals": conservation["arrivals"],
+        "flows": stats["flows"],
+        "completed": stats["completed"],
+    }
+
+
 SCENARIOS: Dict[str, Scenario] = {
     "hier": Scenario(
         "hier", "single-link fig12 fast config (TB + WF2Q+, 100 flows)",
@@ -163,6 +190,10 @@ SCENARIOS: Dict[str, Scenario] = {
     "incast": Scenario(
         "incast", "4-port shared-buffer incast, 2x oversubscription",
         "packets/sec", quick=True, run=_run_incast),
+    "fabric": Scenario(
+        "fabric", "leaf-spine fct fabric (routed hosts, pareto flows, "
+        f"load {FABRIC_LOAD})", "hop-arrivals/sec", quick=True,
+        run=_run_fabric),
     "backend": Scenario(
         "backend", "mixed primitive ops through the fast list engine "
         f"at N={BACKEND_CAPACITY}", "ops/sec", quick=False,

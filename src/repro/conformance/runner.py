@@ -233,17 +233,25 @@ def check_trace(path: str) -> List[ConformanceReport]:
 
     Without the scenario (weights, rates, priorities) only the
     trace-integrity checkers apply; algorithm-specific bounds need
-    ``check_algorithm``.
+    ``check_algorithm``.  Multi-switch (fabric) traces are audited per
+    switch track — each hop must independently satisfy conservation,
+    per-flow FIFO, and link non-overlap — with one report per
+    ``(run, switch)``.
     """
-    from repro.obs.analyze import analyze_path
+    from repro.obs.analyze import split_runs, switch_analyses
+    from repro.obs.trace import read_jsonl
     from repro.sched.spec import UNIVERSAL_CHECKERS
     reports = []
-    for index, (segment, analysis) in enumerate(analyze_path(path)):
-        run = ConformanceRun(analysis=analysis, spec=AlgorithmSpec())
-        outcomes = [CheckOutcome(checker=name,
-                                 violations=CHECKERS[name](run))
-                    for name in UNIVERSAL_CHECKERS]
-        reports.append(ConformanceReport(
-            algorithm=segment.title, scenario=f"trace[{index}]",
-            outcomes=outcomes))
+    for index, segment in enumerate(split_runs(read_jsonl(path))):
+        for switch, analysis in switch_analyses(segment.events):
+            run = ConformanceRun(analysis=analysis,
+                                 spec=AlgorithmSpec())
+            outcomes = [CheckOutcome(checker=name,
+                                     violations=CHECKERS[name](run))
+                        for name in UNIVERSAL_CHECKERS]
+            title = (segment.title if switch is None
+                     else f"{segment.title} [{switch}]")
+            reports.append(ConformanceReport(
+                algorithm=title, scenario=f"trace[{index}]",
+                outcomes=outcomes))
     return reports

@@ -22,6 +22,8 @@ from repro.experiments.fig10_clock import clock_table
 from repro.experiments.fig11_rate_limit import (all_nodes_table,
                                                 rate_limit_table)
 from repro.experiments.fig12_fair_queue import fair_queue_table
+from repro.experiments.fabric_incast import fabric_incast_table
+from repro.experiments.fct import fct_table
 from repro.experiments.incast import incast_table
 from repro.experiments.pipeline_rate import pipeline_table
 from repro.experiments.runner import Table
@@ -48,6 +50,8 @@ __all__ = [
     "rate_limit_table",
     "fair_queue_table",
     "incast_table",
+    "fabric_incast_table",
+    "fct_table",
     "Table",
     "scalability_table",
     "measured_cycles_per_op",
@@ -72,6 +76,8 @@ def all_tables():
         all_nodes_table(),
         fair_queue_table(),
         incast_table(),
+        fabric_incast_table(),
+        fct_table(),
         sublist_ablation_table(),
         approx_structures_table(),
         trigger_ablation_table(),

@@ -57,6 +57,18 @@ from the :mod:`repro.sim.buffer` registry; see
 scheduler, from the :mod:`repro.sched.registry` catalogue; see
 ``--list-algorithms``).  DESIGN.md section 10 covers the dataplane
 composition.
+
+The multi-switch experiments (``fct``, ``fabric-incast``) run whole
+:mod:`repro.net` fabrics — routed hosts, per-switch shared buffers,
+seeded ECMP — and additionally honour ``--workload NAME`` (heavy-tail
+flow-size distribution for ``fct``: web-search, data-mining, pareto).
+DESIGN.md section 13 covers the fabric layer.
+
+::
+
+    python -m repro.experiments fct --algorithm fcfs --jobs 3
+    python -m repro.experiments fct --workload web-search --trace t.jsonl
+    python -m repro.experiments fabric-incast --drop-policy red
 """
 
 from __future__ import annotations
@@ -69,7 +81,8 @@ import sys
 from repro.experiments import (alms_table, all_nodes_table,
                                approx_structures_table, clock_table,
                                deviation_sweep, example_table,
-                               fair_queue_table, incast_table,
+                               fabric_incast_table, fair_queue_table,
+                               fct_table, incast_table,
                                pipeline_table,
                                rate_limit_table, rate_table,
                                scalability_table,
@@ -87,6 +100,8 @@ EXPERIMENTS = {
     "fig11": (rate_limit_table, all_nodes_table),
     "fig12": (fair_queue_table,),
     "incast": (incast_table,),
+    "fabric-incast": (fabric_incast_table,),
+    "fct": (fct_table,),
     "rate": (rate_table, software_rate_table),
     "scalability": (scalability_table,),
     "ablation": (sublist_ablation_table, approx_structures_table,
@@ -126,7 +141,7 @@ def _print_charts() -> None:
 
 def _call(table_fn, backend, tracer=None, metrics=None, duration=None,
           event_queue=None, jobs=None, ports=None, drop_policy=None,
-          algorithm=None, heartbeat=None):
+          algorithm=None, workload=None, heartbeat=None):
     """Pass each option only to experiments that accept it, so the
     cycle-accurate tables stay untouched by the flags."""
     parameters = inspect.signature(table_fn).parameters
@@ -151,6 +166,8 @@ def _call(table_fn, backend, tracer=None, metrics=None, duration=None,
         kwargs["drop_policy"] = drop_policy
     if algorithm is not None and "algorithm" in parameters:
         kwargs["algorithm"] = algorithm
+    if workload is not None and "workload" in parameters:
+        kwargs["workload"] = workload
     return table_fn(**kwargs)
 
 
@@ -218,6 +235,10 @@ def main(argv) -> int:
         "--list-algorithms", action="store_true",
         help="list registered scheduling algorithms and exit")
     parser.add_argument(
+        "--workload", default=None, metavar="NAME",
+        help="flow-size workload for the fct experiment: web-search, "
+             "data-mining, or pareto (default pareto)")
+    parser.add_argument(
         "--profile-runtime", nargs="?", const="", default=None,
         metavar="FILE",
         help="profile host wall-clock time during the run and write a "
@@ -270,6 +291,12 @@ def main(argv) -> int:
             get_algorithm(args.algorithm)  # fail fast
         except ConfigurationError as error:
             print(error)
+            return 2
+    if args.workload is not None:
+        from repro.net.workload import WORKLOADS
+        if args.workload not in WORKLOADS:
+            print(f"unknown workload {args.workload!r}; choose from "
+                  f"{', '.join(WORKLOADS)}")
             return 2
     if args.ports is not None and args.ports < 1:
         print(f"--ports must be >= 1, got {args.ports}")
@@ -338,6 +365,7 @@ def main(argv) -> int:
                                   jobs=args.jobs, ports=args.ports,
                                   drop_policy=args.drop_policy,
                                   algorithm=args.algorithm,
+                                  workload=args.workload,
                                   heartbeat=heartbeat)
                 print(table.to_text())
                 print()

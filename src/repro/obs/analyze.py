@@ -125,6 +125,56 @@ def split_runs(events) -> List[Run]:
     return runs
 
 
+#: Event kinds that carry packet/flow semantics — used to decide
+#: whether an unlabelled bucket of a multi-switch trace is worth
+#: analyzing (the simulator's own timer/span events carry no ``switch``
+#: label and would otherwise produce an empty phantom switch).
+PACKET_KINDS = frozenset((
+    "arrival", "enqueue", "eligible", "dequeue", "departure", "drop",
+))
+
+
+def split_switches(events) -> Dict[Optional[str],
+                                   List[Dict[str, object]]]:
+    """Partition one run's events by their ``switch`` label (from
+    :func:`repro.obs.trace.labelled` views), preserving order.
+    Unlabelled events land under ``None`` — a single-switch trace is
+    one ``None`` bucket."""
+    records = _as_dicts(events)
+    buckets: Dict[Optional[str], List[Dict[str, object]]] = {}
+    for record in records:
+        buckets.setdefault(record.get("switch"), []).append(record)
+    return buckets
+
+
+def switch_analyses(events,
+                    parent_of: "Callable[[Hashable], Optional[Hashable]]"
+                    = None) -> List[Tuple[Optional[str],
+                                          "TraceAnalysis"]]:
+    """``(switch_label, TraceAnalysis)`` per switch of one run.
+
+    Multi-switch (fabric) traces record each packet once *per hop*; a
+    whole-run analysis would see duplicate arrivals and overlapping
+    links, so analysis always happens per switch track.  Single-switch
+    traces yield exactly one ``(None, analysis)`` entry, keeping every
+    existing caller's semantics.  An unlabelled bucket containing no
+    packet events (simulator timer/span chatter) is dropped when
+    labelled tracks exist.
+    """
+    if parent_of is None:
+        parent_of = default_parent_of
+    buckets = split_switches(events)
+    if len(buckets) > 1 and None in buckets:
+        if not any(record.get("kind") in PACKET_KINDS
+                   for record in buckets[None]):
+            del buckets[None]
+    ordered = sorted(buckets.items(),
+                     key=lambda item: (item[0] is not None,
+                                       str(item[0])))
+    return [(switch, TraceAnalysis(bucket, parent_of=parent_of))
+            for switch, bucket in ordered]
+
+
 @dataclass
 class Episode:
     """One enqueue->dequeue residence of a flow element in an ordered

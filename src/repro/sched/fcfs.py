@@ -1,0 +1,33 @@
+"""FCFS: first-come-first-served across flows.
+
+The degenerate policy every scheduling paper compares against — a
+single logical FIFO.  Expressed in the PIEO framework it is one line:
+rank = head-packet arrival time, always eligible.  With ranks strictly
+ordered by arrival, the ordered list serves flows exactly in the order
+their head packets arrived, which is a switch output queue with no
+isolation at all.  The :mod:`repro.net` FCT experiment uses it as the
+baseline that SFQ/WF2Q+ beat on short-flow tail latency under
+incast-heavy heavy-tailed load.
+"""
+
+from __future__ import annotations
+
+from repro.core.element import ALWAYS_ELIGIBLE
+from repro.sched.base import SchedulingAlgorithm
+from repro.sim.flow import FlowQueue
+
+
+class FirstComeFirstServed(SchedulingAlgorithm):
+    """One logical FIFO: flows are ranked by head-packet arrival time."""
+
+    name = "fcfs"
+
+    def pre_enqueue(self, ctx, flow: FlowQueue) -> None:
+        head = flow.head
+        rank = head.arrival_time if head is not None else ctx.now
+        ctx.enqueue(flow, rank=rank, send_time=ALWAYS_ELIGIBLE)
+
+    def post_dequeue(self, ctx, flow: FlowQueue) -> None:
+        ctx.transmit_head(flow)
+        if not flow.is_empty:
+            ctx.reenqueue(flow)

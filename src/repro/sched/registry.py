@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional
 from repro.errors import ConfigurationError
 from repro.sched.base import SchedulingAlgorithm
 from repro.sched.drr import DeficitRoundRobin
+from repro.sched.fcfs import FirstComeFirstServed
 from repro.sched.spec import AlgorithmSpec
 from repro.sched.mlfq import MultiLevelFeedbackQueue
 from repro.sched.priority import (EarliestDeadlineFirst,
@@ -131,6 +132,10 @@ _WF2Q_CLOCK_WAIVER = (
     "tests/conformance/test_waivers.py pins the observed 2*L_max/R "
     "envelope)")
 
+register_algorithm(
+    "fcfs", FirstComeFirstServed,
+    "first-come-first-served (single logical FIFO, no isolation)",
+    spec=AlgorithmSpec())
 register_algorithm(
     "drr", DeficitRoundRobin,
     "deficit round robin (work-conserving, quantum per visit)",

@@ -71,14 +71,16 @@ class Dataplane:
                  link_rate_bps: Optional[float] = None,
                  recorder: Optional[Recorder] = None,
                  drain: Optional[bool] = None,
-                 label: bool = True) -> Port:
+                 label: bool = True,
+                 on_departure=None) -> Port:
         """Create and register a port.
 
         Either pass a constructed ``scheduler`` (and ``link``), or pass
         ``make_scheduler(tracer, metrics)`` + ``link_rate_bps`` and the
         dataplane builds both with the port's labelled tracer / scoped
         metrics so scheduler- and link-level events carry the port
-        field too.
+        field too.  ``on_departure(packet)`` is the port's post-transmit
+        hook (next-hop forwarding in :mod:`repro.net`).
         """
         if port_id in self.ports:
             raise ConfigurationError(f"duplicate port id {port_id!r}")
@@ -99,7 +101,8 @@ class Dataplane:
         port = Port(port_id, self.sim, scheduler, link,
                     buffer=self.buffer, recorder=recorder,
                     tracer=self.tracer, metrics=self.metrics,
-                    drain=drain, label=label)
+                    drain=drain, label=label,
+                    on_departure=on_departure)
         self.ports[port_id] = port
         return port
 

@@ -1,16 +1,26 @@
-"""Traffic generators.
+"""Traffic generators and flow-size samplers.
 
 The paper's prototype implements "packet generators, one per flow, on the
 FPGA to simulate the flows" (Section 6.3).  These are their software
 equivalents; each generator injects packets into a flow queue through a
 callback supplied by the transmit engine, so arrival handling (and the
 framework's pre-enqueue trigger) stays in one place.
+
+The *flow-size samplers* (:class:`EmpiricalCdfSampler`,
+:class:`ParetoSampler`) serve the :mod:`repro.net` host workloads:
+seeded inverse-transform draws from the heavy-tailed distributions the
+FCT literature evaluates against (web-search / data-mining empirical
+CDFs, Pareto).  Each sampler exposes its analytic ``mean_bytes`` so
+open-loop load targets (arrival rate = load x link / mean size) need no
+Monte Carlo warm-up, and the statistical generator tests can check
+sample means against a closed form.
 """
 
 from __future__ import annotations
 
+import math
 import random
-from typing import Callable, Hashable, Optional
+from typing import Callable, Hashable, List, Optional, Sequence, Tuple
 
 from repro.sim.events import Simulator
 from repro.sim.packet import MTU_BYTES, Packet
@@ -119,6 +129,127 @@ class OnOffGenerator(PacketGenerator):
         off = self._draw(self.off_seconds)
         self._on_until = next_time + off + self._draw(self.on_seconds)
         return gap + off
+
+
+class EmpiricalCdfSampler:
+    """Seeded inverse-transform sampling from an empirical size CDF.
+
+    ``points`` is a sequence of ``(size_bytes, cumulative_probability)``
+    pairs, strictly increasing in both coordinates, ending at
+    probability 1.0 — the form the datacenter FCT literature publishes
+    (web-search / data-mining distributions).  A draw picks u ~ U(0, 1]
+    and interpolates linearly between the bracketing points; mass at or
+    below the first point's probability is an atom at the first size
+    (the published tables start with e.g. "50% of flows are 1 packet").
+
+    ``mean_bytes`` is exact for that interpolation: the atom plus each
+    segment's mass times its midpoint size.
+    """
+
+    def __init__(self, points: Sequence[Tuple[float, float]],
+                 rng: Optional[random.Random] = None) -> None:
+        if len(points) < 1:
+            raise ValueError("empirical CDF needs at least one point")
+        previous_size, previous_prob = None, 0.0
+        for size, prob in points:
+            if size <= 0:
+                raise ValueError("CDF sizes must be positive")
+            if previous_size is not None and size <= previous_size:
+                raise ValueError("CDF sizes must strictly increase")
+            if prob <= previous_prob:
+                raise ValueError(
+                    "CDF probabilities must strictly increase")
+            previous_size, previous_prob = size, prob
+        if abs(points[-1][1] - 1.0) > 1e-9:
+            raise ValueError("CDF must end at probability 1.0")
+        self.points: List[Tuple[float, float]] = [
+            (float(size), float(prob)) for size, prob in points]
+        self.rng = rng or random.Random(0)
+
+    @property
+    def mean_bytes(self) -> float:
+        sizes = [size for size, _ in self.points]
+        probs = [prob for _, prob in self.points]
+        mean = probs[0] * sizes[0]
+        for index in range(1, len(sizes)):
+            mass = probs[index] - probs[index - 1]
+            mean += mass * (sizes[index - 1] + sizes[index]) / 2.0
+        return mean
+
+    def sample(self) -> int:
+        u = self.rng.random()
+        sizes = [size for size, _ in self.points]
+        probs = [prob for _, prob in self.points]
+        if u <= probs[0]:
+            return max(1, round(sizes[0]))
+        for index in range(1, len(sizes)):
+            if u <= probs[index]:
+                lo_s, hi_s = sizes[index - 1], sizes[index]
+                lo_p, hi_p = probs[index - 1], probs[index]
+                fraction = (u - lo_p) / (hi_p - lo_p)
+                return max(1, round(lo_s + fraction * (hi_s - lo_s)))
+        return max(1, round(sizes[-1]))
+
+    def tail_mass(self, size_bytes: float) -> float:
+        """P(size > size_bytes) under the interpolated CDF (closed
+        form, for the statistical property tests)."""
+        sizes = [size for size, _ in self.points]
+        probs = [prob for _, prob in self.points]
+        if size_bytes < sizes[0]:
+            return 1.0
+        for index in range(1, len(sizes)):
+            if size_bytes < sizes[index]:
+                lo_s, hi_s = sizes[index - 1], sizes[index]
+                lo_p, hi_p = probs[index - 1], probs[index]
+                fraction = (size_bytes - lo_s) / (hi_s - lo_s)
+                return 1.0 - (lo_p + fraction * (hi_p - lo_p))
+        return 0.0
+
+
+class ParetoSampler:
+    """Seeded bounded-Pareto flow sizes: ``scale * u^(-1/alpha)`` capped
+    at ``cap_bytes`` (an uncapped alpha <= 1 tail has infinite mean, so
+    open-loop load targets would be undefined).
+
+    ``mean_bytes`` is the exact mean of the capped distribution.
+    """
+
+    def __init__(self, alpha: float = 1.5, scale_bytes: float = 1000.0,
+                 cap_bytes: float = 10e6,
+                 rng: Optional[random.Random] = None) -> None:
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if scale_bytes <= 0 or cap_bytes <= scale_bytes:
+            raise ValueError("need 0 < scale_bytes < cap_bytes")
+        self.alpha = alpha
+        self.scale_bytes = scale_bytes
+        self.cap_bytes = cap_bytes
+        self.rng = rng or random.Random(0)
+
+    @property
+    def mean_bytes(self) -> float:
+        alpha, xm, cap = self.alpha, self.scale_bytes, self.cap_bytes
+        # P(X >= cap) for the uncapped Pareto; that mass sits at cap.
+        tail = (xm / cap) ** alpha
+        if alpha == 1.0:
+            body = xm * math.log(cap / xm)
+        else:
+            body = (alpha * xm / (alpha - 1.0)
+                    * (1.0 - (xm / cap) ** (alpha - 1.0)))
+        return body + tail * cap
+
+    def sample(self) -> int:
+        u = self.rng.random()
+        size = self.scale_bytes / max(u, 1e-12) ** (1.0 / self.alpha)
+        return max(1, round(min(size, self.cap_bytes)))
+
+    def tail_mass(self, size_bytes: float) -> float:
+        """P(size > size_bytes) (closed form)."""
+        if size_bytes < self.scale_bytes:
+            return 1.0
+        if size_bytes >= self.cap_bytes:
+            return 0.0
+        return (self.scale_bytes / size_bytes) ** self.alpha
 
 
 class BackloggedSource:

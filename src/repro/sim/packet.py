@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Hashable, Optional
+from typing import Hashable, List, Optional
 
 #: Standard Ethernet MTU payload size used throughout the evaluation
 #: ("we schedule at MTU granularity", Section 6.3).
@@ -45,6 +45,18 @@ class Packet:
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
     #: Filled in by the transmit engine.
     departure_time: Optional[float] = None
+    #: Destination endpoint for routed (multi-switch) traffic; None for
+    #: the single-switch setups, where the classifier decides alone.
+    dst: Optional[Hashable] = None
+    #: Remaining hop budget; each :class:`repro.net` switch decrements
+    #: it and drops at zero.  0 means "not routed" (single-switch runs
+    #: never touch it).
+    ttl: int = 0
+    #: Switches traversed so far (incremented per switch ingest).
+    hops: int = 0
+    #: Path provenance: node ids appended at each switch ingest when the
+    #: fabric records provenance; None when disabled (saves the list).
+    path: Optional[List[Hashable]] = None
 
     @property
     def size_bits(self) -> int:

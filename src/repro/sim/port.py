@@ -40,6 +40,12 @@ class Port:
     :class:`~repro.sim.buffer.BufferManager`; when given, arrivals pass
     through ``buffer.admit`` before the scheduler sees them and every
     transmission credits occupancy back via ``buffer.release``.
+
+    ``on_departure(packet)`` runs after every transmission, once the
+    engine has stamped ``packet.departure_time`` (and after the buffer
+    release, so occupancy accounting stays ahead of any re-injection).
+    The :mod:`repro.net` fabric uses it to forward packets to the next
+    hop; without it behaviour is unchanged.
     """
 
     def __init__(self, port_id: Hashable, sim: Simulator, scheduler,
@@ -47,7 +53,8 @@ class Port:
                  recorder: Optional[Recorder] = None,
                  tracer=None, metrics=None,
                  drain: Optional[bool] = None,
-                 label: bool = True) -> None:
+                 label: bool = True,
+                 on_departure=None) -> None:
         self.port_id = port_id
         self.sim = sim
         self.scheduler = scheduler
@@ -60,11 +67,15 @@ class Port:
         self.tracer = tracer
         self.metrics = metrics
         admission = None
-        departure_hook = None
+        self._forward = on_departure
         if buffer is not None:
             admission = self._admit
-            departure_hook = self._release
+            departure_hook = (self._release_and_forward
+                              if on_departure is not None
+                              else self._release)
             buffer.attach_port(port_id, self.flow_queue)
+        else:
+            departure_hook = on_departure
         self.engine = TransmitEngine(
             sim, scheduler, link, recorder=recorder, tracer=tracer,
             metrics=metrics, drain=drain, admission=admission,
@@ -79,6 +90,10 @@ class Port:
     def _release(self, packet: Packet) -> None:
         self.buffer.release(self.port_id, packet.flow_id,
                             packet.size_bytes)
+
+    def _release_and_forward(self, packet: Packet) -> None:
+        self._release(packet)
+        self._forward(packet)
 
     def flow_queue(self, flow_id: Hashable) -> Optional[FlowQueue]:
         """The live :class:`FlowQueue` for ``flow_id`` (push-out

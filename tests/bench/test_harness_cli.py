@@ -17,9 +17,11 @@ from tests.bench.test_compare import record_with
 
 class TestRegistry:
     def test_quick_subset(self):
-        assert available_scenarios(quick=True) == ["hier", "incast"]
+        assert available_scenarios(quick=True) == ["hier", "incast",
+                                                   "fabric"]
         full = available_scenarios(quick=False)
-        assert set(full) >= {"hier", "incast", "backend", "analyze"}
+        assert set(full) >= {"hier", "incast", "fabric", "backend",
+                             "analyze"}
 
     def test_unknown_scenario_raises(self):
         with pytest.raises(ConfigurationError, match="unknown bench"):
@@ -67,6 +69,14 @@ class TestMeasureScenario:
         assert record["scenario"] == name
         assert record["metrics"]["normalized"]["gated"] is True
         assert record["counts"][count_key] > 0
+
+    def test_fabric_scenario_measures_multi_switch_work(self):
+        record = measure_scenario("fabric", rounds=1, profile=False,
+                                  run_date="2026-08-08")
+        assert record["scenario"] == "fabric"
+        assert record["metrics"]["normalized"]["gated"] is True
+        assert record["counts"]["hop_arrivals"] > 0
+        assert record["counts"]["completed"] > 0
 
 
 class TestCli:

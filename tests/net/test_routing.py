@@ -1,0 +1,125 @@
+"""Static shortest-path routing and seeded-deterministic ECMP."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.routing import (FiveTuple, build_routes, ecmp_next_hop,
+                               flow_path, ideal_fct_seconds)
+from repro.net.topology import Topology, fat_tree, leaf_spine
+from repro.sim.link import gbps
+from repro.sim.packet import MTU_BYTES
+
+
+def _flow(src="h0", dst="h3", sport=7, dport=80):
+    return FiveTuple(src=src, dst=dst, sport=sport, dport=dport)
+
+
+class TestBuildRoutes:
+    def test_leaf_spine_next_hops(self):
+        topo = leaf_spine(leaves=2, spines=2, hosts_per_leaf=2)
+        routes = build_routes(topo)
+        # Host -> same-leaf host: one hop through the leaf.
+        assert routes.next_hops("h0", "h1") == ("l0",)
+        assert routes.next_hops("l0", "h1") == ("h1",)
+        # Cross-leaf: the leaf load-balances over both spines.
+        assert routes.next_hops("l0", "h3") == ("sp0", "sp1")
+        assert routes.next_hops("sp0", "h3") == ("l1",)
+
+    def test_hosts_never_forward_transit(self):
+        # h1 hangs off l0 but is never a next hop toward h3.
+        topo = leaf_spine(leaves=2, spines=2, hosts_per_leaf=2)
+        routes = build_routes(topo)
+        for node in ("l0", "l1", "sp0", "sp1"):
+            for dst in ("h0", "h3"):
+                if node == dst:
+                    continue
+                hops = routes.next_hops(node, dst)
+                for hop in hops:
+                    assert hop == dst or hop in topo.switches
+
+    def test_unroutable_destination_raises(self):
+        topo = Topology()
+        topo.add_host("h0")
+        topo.add_switch("s0")
+        topo.add_host("h1")
+        topo.add_switch("island")
+        topo.add_link("h0", "s0", rate_bps=gbps(10))
+        topo.add_link("h1", "island", rate_bps=gbps(10))
+        routes = build_routes(topo)
+        with pytest.raises(ConfigurationError):
+            routes.next_hops("s0", "h1")
+
+
+class TestEcmp:
+    def test_deterministic_across_calls(self):
+        candidates = ("sp0", "sp1", "sp2")
+        flow = _flow()
+        first = ecmp_next_hop(candidates, "l0", flow, seed=3)
+        assert all(ecmp_next_hop(candidates, "l0", flow, seed=3)
+                   == first for _ in range(10))
+
+    def test_seed_and_tuple_change_choice(self):
+        candidates = tuple(f"sp{i}" for i in range(8))
+        flow = _flow()
+        by_seed = {ecmp_next_hop(candidates, "l0", flow, seed=s)
+                   for s in range(32)}
+        by_port = {ecmp_next_hop(candidates, "l0",
+                                 _flow(sport=s), seed=0)
+                   for s in range(32)}
+        assert len(by_seed) > 1
+        assert len(by_port) > 1
+
+    def test_no_polarization_across_switches(self):
+        # The switch name is hashed in, so two consecutive ECMP stages
+        # with the same candidate count do not all pick the same index.
+        candidates = ("a", "b")
+        picks = {node: ecmp_next_hop(candidates, node,
+                                     _flow(sport=11), seed=0)
+                 for node in ("l0", "l1", "sp0", "sp1", "agg0")}
+        assert len(set(picks.values())) == 2
+
+    def test_flow_path_walks_to_destination(self):
+        topo = fat_tree(k=4)
+        routes = build_routes(topo)
+        flow = _flow(src="h0", dst="h15", sport=4, dport=5)
+        path = flow_path(topo, routes, flow, seed=0)
+        assert path[0] == "h0" and path[-1] == "h15"
+        # Cross-pod in a k=4 fat tree: host-edge-agg-core-agg-edge-host.
+        assert len(path) == 7
+
+    def test_flow_path_same_leaf(self):
+        topo = leaf_spine(leaves=2, spines=2, hosts_per_leaf=2)
+        routes = build_routes(topo)
+        path = flow_path(topo, routes, _flow(src="h0", dst="h1"),
+                         seed=0)
+        assert path == ["h0", "l0", "h1"]
+
+
+class TestIdealFct:
+    def test_single_link_matches_serialization(self):
+        topo = Topology()
+        topo.add_host("a")
+        topo.add_host("b")
+        topo.add_switch("s")
+        topo.add_link("a", "s", rate_bps=gbps(10), delay_s=0.0)
+        topo.add_link("s", "b", rate_bps=gbps(10), delay_s=0.0)
+        size = 4 * MTU_BYTES
+        ideal = ideal_fct_seconds(topo, ["a", "s", "b"], size,
+                                  MTU_BYTES)
+        # Store-and-forward: head packet serializes twice, the rest
+        # pipelines behind the 10 Gbps bottleneck.
+        head = MTU_BYTES * 8 / gbps(10)
+        rest = (size - MTU_BYTES) * 8 / gbps(10)
+        assert ideal == pytest.approx(2 * head + rest)
+
+    def test_propagation_delay_counts_once_per_link(self):
+        topo = Topology()
+        topo.add_host("a")
+        topo.add_host("b")
+        topo.add_switch("s")
+        topo.add_link("a", "s", rate_bps=gbps(10), delay_s=5e-6)
+        topo.add_link("s", "b", rate_bps=gbps(10), delay_s=5e-6)
+        small = ideal_fct_seconds(topo, ["a", "s", "b"], 100,
+                                  MTU_BYTES)
+        assert small == pytest.approx(
+            1e-5 + 2 * 100 * 8 / gbps(10))
